@@ -1,0 +1,349 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation section, plus ablations of the framework's design choices.
+// Each experiment benchmark regenerates its table/figure at the reduced
+// QuickBudget (shapes preserved; see EXPERIMENTS.md) and prints the rows the
+// paper reports on its first iteration, so
+//
+//	go test -bench=. -benchmem
+//
+// both times the pipelines and reproduces the results. Key scalar outcomes
+// are attached as custom benchmark metrics (best_weighted_pct etc.).
+package nasaic
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"nasaic/internal/core"
+	"nasaic/internal/dataflow"
+	"nasaic/internal/dnn"
+	"nasaic/internal/experiments"
+	"nasaic/internal/maestro"
+	"nasaic/internal/sched"
+	"nasaic/internal/search"
+	"nasaic/internal/stats"
+	"nasaic/internal/workload"
+)
+
+var (
+	printTable1 sync.Once
+	printTable2 sync.Once
+	printFig1   sync.Once
+	printFig6   [3]sync.Once
+)
+
+// BenchmarkTable1 regenerates Table I: NAS→ASIC vs ASIC→HW-NAS vs NASAIC on
+// workloads W1 and W2.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1(experiments.QuickBudget())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable1.Do(func() {
+			fmt.Println("\n=== Table I (QuickBudget reproduction) ===")
+			experiments.RenderTable1(os.Stdout, rows)
+		})
+		var nasaicW1 float64
+		for _, r := range rows {
+			if r.Workload == "W1" && r.Approach == "NASAIC" {
+				for _, d := range r.Rows {
+					nasaicW1 += d.Accuracy / float64(len(r.Rows))
+				}
+			}
+		}
+		b.ReportMetric(100*nasaicW1, "W1_nasaic_avg_acc_pct")
+	}
+}
+
+// BenchmarkTable2 regenerates Table II: single vs homogeneous vs
+// heterogeneous accelerator configurations on W3.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2(experiments.QuickBudget())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable2.Do(func() {
+			fmt.Println("\n=== Table II (QuickBudget reproduction) ===")
+			experiments.RenderTable2(os.Stdout, rows)
+		})
+		b.ReportMetric(100*rows[len(rows)-1].Rows[0].Accuracy, "hetero_best_acc_pct")
+	}
+}
+
+// BenchmarkFig1 regenerates the motivating CIFAR-10 design-space study.
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d, err := experiments.Fig1(experiments.QuickBudget())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFig1.Do(func() {
+			fmt.Println("\n=== Fig. 1 (QuickBudget reproduction) ===")
+			experiments.RenderFig1(os.Stdout, d)
+		})
+		b.ReportMetric(100*d.OptimalAcc, "mc_optimal_acc_pct")
+		feasible := 0
+		for _, p := range d.NASASIC {
+			if p.Feasible {
+				feasible++
+			}
+		}
+		b.ReportMetric(float64(feasible), "nas_asic_feasible_points")
+	}
+}
+
+func benchFig6(b *testing.B, idx int, w workload.Workload) {
+	for i := 0; i < b.N; i++ {
+		d, err := experiments.Fig6(w, experiments.QuickBudget())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFig6[idx].Do(func() {
+			fmt.Printf("\n=== Fig. 6 %s (QuickBudget reproduction) ===\n", w.Name)
+			experiments.RenderFig6(os.Stdout, d)
+		})
+		b.ReportMetric(100*d.Best.Weighted, "best_weighted_pct")
+		b.ReportMetric(float64(len(d.Explored)), "explored_solutions")
+	}
+}
+
+// BenchmarkFig6W1 regenerates the left panel of Fig. 6 (CIFAR-10 + Nuclei).
+func BenchmarkFig6W1(b *testing.B) { benchFig6(b, 0, workload.W1()) }
+
+// BenchmarkFig6W2 regenerates the middle panel of Fig. 6 (CIFAR-10 + STL-10).
+func BenchmarkFig6W2(b *testing.B) { benchFig6(b, 1, workload.W2()) }
+
+// BenchmarkFig6W3 regenerates the right panel of Fig. 6 (CIFAR-10 x2).
+func BenchmarkFig6W3(b *testing.B) { benchFig6(b, 2, workload.W3()) }
+
+// --- Ablations of the framework's design choices (DESIGN.md §5.4) ---------
+
+func runW3Ablation(b *testing.B, mutate func(*core.Config)) float64 {
+	cfg := core.DefaultConfig()
+	cfg.Episodes = 120
+	cfg.Seed = 5
+	mutate(&cfg)
+	x, err := core.New(workload.W3(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := x.Run()
+	if res.Best == nil {
+		return 0
+	}
+	return res.Best.Weighted
+}
+
+// BenchmarkAblationFull is the reference point for the search ablations.
+func BenchmarkAblationFull(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w := runW3Ablation(b, func(*core.Config) {})
+		b.ReportMetric(100*w, "best_weighted_pct")
+	}
+}
+
+// BenchmarkAblationNoReplay disables self-imitation replay.
+func BenchmarkAblationNoReplay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w := runW3Ablation(b, func(c *core.Config) { c.ReplayCoef = 0 })
+		b.ReportMetric(100*w, "best_weighted_pct")
+	}
+}
+
+// BenchmarkAblationNoRefine disables the coordinate-descent exploit phase.
+func BenchmarkAblationNoRefine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w := runW3Ablation(b, func(c *core.Config) { c.Refine = false })
+		b.ReportMetric(100*w, "best_weighted_pct")
+	}
+}
+
+// BenchmarkAblationNoEntropy disables entropy regularization.
+func BenchmarkAblationNoEntropy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w := runW3Ablation(b, func(c *core.Config) { c.EntropyCoef = 0 })
+		b.ReportMetric(100*w, "best_weighted_pct")
+	}
+}
+
+// BenchmarkAblationNoEarlyPruning evaluates accuracy on every episode
+// (HWSteps=0 keeps only the combined sample, removing the optimizer
+// selector's hardware-first exploration).
+func BenchmarkAblationNoHWSteps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w := runW3Ablation(b, func(c *core.Config) { c.HWSteps = 0 })
+		b.ReportMetric(100*w, "best_weighted_pct")
+	}
+}
+
+// BenchmarkAblationEvolution swaps the RNN controller for the evolutionary
+// optimizer at a matched evaluation budget (the paper's §IV note that other
+// optimizers apply to the same reward).
+func BenchmarkAblationEvolution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		cfg.Seed = 5
+		x, err := core.New(workload.W3(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ec := core.DefaultEvolutionConfig()
+		ec.Generations = 26 // ~120 episodes x 11 evals / 50 pop
+		res := x.RunEvolution(ec)
+		if res.Best != nil {
+			b.ReportMetric(100*res.Best.Weighted, "best_weighted_pct")
+		}
+	}
+}
+
+// BenchmarkAblationExtendedTemplates widens the template library with the
+// systolic extension (dataflow.ExtendedStyles) — does a fourth dataflow
+// improve the co-design optimum beyond the paper's {shi, dla, rs} set?
+func BenchmarkAblationExtendedTemplates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		cfg.Episodes = 120
+		cfg.Seed = 5
+		cfg.HW.Styles = append([]dataflow.Style(nil), dataflow.ExtendedStyles...)
+		x, err := core.New(workload.W3(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := x.Run()
+		if res.Best != nil {
+			b.ReportMetric(100*res.Best.Weighted, "best_weighted_pct")
+		}
+	}
+}
+
+// --- HAP solver ablation ---------------------------------------------------
+
+func hapInstance() sched.Problem {
+	cost := maestro.DefaultConfig()
+	net, err := dnn.BuildResNet(dnn.ResNetConfig{
+		Name: "r", InputX: 32, InputY: 32, InputC: 3, Classes: 10,
+		FN0: 16, Blocks: []dnn.ResBlock{{FN: 64, SK: 1}, {FN: 128, SK: 1}, {FN: 128, SK: 0}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	p := sched.Problem{NumAccels: 2, Deadline: 4e5}
+	ch := sched.Chain{Name: "net"}
+	for _, l := range net.ComputeLayers() {
+		dla := cost.LayerCost(l, dataflow.NVDLA, 1024, 32)
+		shi := cost.LayerCost(l, dataflow.Shidiannao, 1024, 32)
+		ch.Layers = append(ch.Layers, sched.Layer{Name: l.Name, Options: []sched.Option{
+			{Cycles: dla.Cycles, EnergyNJ: dla.EnergyNJ, BufferBytes: dla.BufferBytes},
+			{Cycles: shi.Cycles, EnergyNJ: shi.EnergyNJ, BufferBytes: shi.BufferBytes},
+		}})
+	}
+	p.Chains = []sched.Chain{ch}
+	return p
+}
+
+// BenchmarkHAPHeuristic times the paper's accelerated scheduler on a
+// realistic ResNet-9 cost table.
+func BenchmarkHAPHeuristic(b *testing.B) {
+	p := hapInstance()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sched.Heuristic(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.EnergyNJ, "energy_nj")
+		}
+	}
+}
+
+// BenchmarkHAPExhaustive times the optimal reference (the paper's ILP
+// stand-in) on the same instance, quantifying the heuristic's speedup.
+func BenchmarkHAPExhaustive(b *testing.B) {
+	p := hapInstance()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sched.Exhaustive(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.EnergyNJ, "energy_nj")
+		}
+	}
+}
+
+// BenchmarkHAPBranchAndBound times the pruned exact solver, which extends
+// optimality to instances beyond Exhaustive's enumeration limit.
+func BenchmarkHAPBranchAndBound(b *testing.B) {
+	p := hapInstance()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, complete, err := sched.BranchAndBound(p, 1<<22)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.EnergyNJ, "energy_nj")
+			if !complete {
+				b.ReportMetric(1, "budget_exhausted")
+			}
+		}
+	}
+}
+
+// --- Microbenchmarks of the hot paths --------------------------------------
+
+// BenchmarkLayerCost times one cost-model query (the innermost operation of
+// the whole search).
+func BenchmarkLayerCost(b *testing.B) {
+	cfg := maestro.DefaultConfig()
+	l := dnn.Layer{Name: "c", Op: dnn.Conv, K: 128, C: 128, R: 3, S: 3, X: 16, Y: 16, Stride: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = cfg.LayerCost(l, dataflow.NVDLA, 1024, 32)
+	}
+}
+
+// BenchmarkHWEval times one full hardware evaluation (cost table + HAP +
+// area) for a W1-sized workload.
+func BenchmarkHWEval(b *testing.B) {
+	w := workload.W1()
+	cfg := core.DefaultConfig()
+	e, err := core.NewEvaluator(w, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nets := make([]*dnn.Network, len(w.Tasks))
+	for i, t := range w.Tasks {
+		nets[i] = t.Space.MustDecode(t.Space.Largest())
+	}
+	rng := stats.NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		des := search.RandomDesign(cfg.HW, rng)
+		_ = e.HWEval(nets, des)
+	}
+}
+
+// BenchmarkControllerEpisode times one controller sample + policy-gradient
+// update at the experiment's decision-sequence length.
+func BenchmarkControllerEpisode(b *testing.B) {
+	w := workload.W1()
+	cfg := core.DefaultConfig()
+	cfg.Episodes = 1
+	cfg.HWSteps = 0
+	cfg.Refine = false
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x, err := core.New(w, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = x.Run()
+	}
+}

@@ -1,0 +1,67 @@
+// Command compare regenerates the paper's comparison tables:
+//
+//	compare -table 1    # Table I: NAS→ASIC vs ASIC→HW-NAS vs NASAIC (W1, W2)
+//	compare -table 2    # Table II: single vs homogeneous vs heterogeneous (W3)
+//
+// Pass -paper for the full §V-A search budget (β=500, 10,000 Monte Carlo
+// runs) or use the default quick budget that preserves the result shapes.
+// -csv writes a machine-readable copy next to the printed table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nasaic/internal/experiments"
+	"nasaic/internal/export"
+)
+
+func main() {
+	var (
+		table = flag.Int("table", 1, "table to regenerate: 1 or 2")
+		paper = flag.Bool("paper", false, "use the paper's full search budget")
+		seed  = flag.Int64("seed", 1, "random seed")
+		csv   = flag.String("csv", "", "optional path for CSV export (table 1 only)")
+	)
+	flag.Parse()
+
+	b := experiments.QuickBudget()
+	if *paper {
+		b = experiments.PaperBudget()
+	}
+	b.Seed = *seed
+
+	switch *table {
+	case 1:
+		rows, err := experiments.Table1(b)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		experiments.RenderTable1(os.Stdout, rows)
+		if *csv != "" {
+			f, err := os.Create(*csv)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			header, body := experiments.Table1CSV(rows)
+			if err := export.CSV(f, header, body); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	case 2:
+		rows, err := experiments.Table2(b)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		experiments.RenderTable2(os.Stdout, rows)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown table %d (want 1 or 2)\n", *table)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,99 @@
+// Command dse regenerates the paper's design-space exploration figures:
+//
+//	dse -fig 1                    # Fig. 1: motivating CIFAR-10 study
+//	dse -fig 6 -workload W1       # Fig. 6 panels (W1, W2 or W3)
+//
+// Each run prints an ASCII latency-energy projection and, with -out, writes
+// the full 3-D point series as CSV for external plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"nasaic/internal/experiments"
+	"nasaic/internal/export"
+	"nasaic/internal/workload"
+)
+
+func main() {
+	var (
+		fig   = flag.Int("fig", 6, "figure to regenerate: 1 or 6")
+		wName = flag.String("workload", "W1", "workload for fig 6: W1, W2 or W3")
+		paper = flag.Bool("paper", false, "use the paper's full search budget")
+		seed  = flag.Int64("seed", 1, "random seed")
+		out   = flag.String("out", "", "optional directory for CSV export")
+	)
+	flag.Parse()
+
+	b := experiments.QuickBudget()
+	if *paper {
+		b = experiments.PaperBudget()
+	}
+	b.Seed = *seed
+
+	writeCSV := func(name string, header []string, rows [][]string) {
+		if *out == "" {
+			return
+		}
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*out, name)
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := export.CSV(f, header, rows); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+
+	switch *fig {
+	case 1:
+		d, err := experiments.Fig1(b)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		experiments.RenderFig1(os.Stdout, d)
+		h, rows := experiments.PointsCSV(d.NASASIC, "nas_asic")
+		extra := []experiments.MetricPoint{d.HWNAS}
+		if d.Heuristic != nil {
+			extra = append(extra, *d.Heuristic)
+		}
+		if d.Optimal != nil {
+			extra = append(extra, *d.Optimal)
+		}
+		_, extraRows := experiments.PointsCSV(extra, "highlight")
+		writeCSV("fig1.csv", h, append(rows, extraRows...))
+	case 6:
+		w, err := workload.ByName(*wName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		d, err := experiments.Fig6(w, b)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		experiments.RenderFig6(os.Stdout, d)
+		h, rows := experiments.PointsCSV(d.Explored, "explored")
+		_, lbRows := experiments.PointsCSV(d.LowerBounds, "lower_bound")
+		_, bestRows := experiments.PointsCSV([]experiments.MetricPoint{d.Best}, "best")
+		rows = append(rows, lbRows...)
+		rows = append(rows, bestRows...)
+		writeCSV(fmt.Sprintf("fig6_%s.csv", w.Name), h, rows)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %d (want 1 or 6)\n", *fig)
+		os.Exit(2)
+	}
+}

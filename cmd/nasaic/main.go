@@ -1,0 +1,107 @@
+// Command nasaic runs the NASAIC co-exploration for one of the paper's
+// workloads and reports the best identified (architectures, accelerator)
+// pair together with the exploration statistics.
+//
+// Usage:
+//
+//	nasaic -workload W1 [-episodes 500] [-seed 1] [-top 5] [-quiet]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nasaic/internal/core"
+	"nasaic/internal/export"
+	"nasaic/internal/sched"
+	"nasaic/internal/workload"
+)
+
+func main() {
+	var (
+		wName    = flag.String("workload", "W1", "workload to explore: W1 (CIFAR-10+Nuclei), W2 (CIFAR-10+STL-10), W3 (CIFAR-10 x2)")
+		episodes = flag.Int("episodes", 500, "exploration episodes (beta in the paper)")
+		hwSteps  = flag.Int("hw-steps", 10, "hardware-only steps per episode (phi)")
+		seed     = flag.Int64("seed", 1, "random seed (runs are deterministic per seed)")
+		top      = flag.Int("top", 5, "how many explored solutions to print")
+		quiet    = flag.Bool("quiet", false, "print only the best solution line")
+		optim    = flag.String("optimizer", "rl", "search strategy: rl (the paper's RNN controller) or ea (evolutionary)")
+		trace    = flag.Bool("trace", false, "print the best solution's layer-to-sub-accelerator schedule")
+	)
+	flag.Parse()
+
+	w, err := workload.ByName(*wName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Episodes = *episodes
+	cfg.HWSteps = *hwSteps
+	cfg.Seed = *seed
+
+	x, err := core.New(w, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Printf("NASAIC co-exploration on %s  specs=%s  episodes=%d  phi=%d  seed=%d  optimizer=%s\n",
+			w.Name, w.Specs, cfg.Episodes, cfg.HWSteps, cfg.Seed, *optim)
+	}
+	var res *core.Result
+	switch *optim {
+	case "rl":
+		res = x.Run()
+	case "ea":
+		ec := core.DefaultEvolutionConfig()
+		// Match the RL budget: Population x Generations ~ Episodes x (1+phi).
+		ec.Generations = cfg.Episodes * (1 + cfg.HWSteps) / ec.Population
+		if ec.Generations < 1 {
+			ec.Generations = 1
+		}
+		res = x.RunEvolution(ec)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown optimizer %q (want rl or ea)\n", *optim)
+		os.Exit(2)
+	}
+	if res.Best == nil {
+		fmt.Printf("no feasible solution found in %d episodes (pruned %d)\n", cfg.Episodes, res.Pruned)
+		os.Exit(1)
+	}
+
+	best := res.Best
+	fmt.Printf("best: %s\n", best.Design)
+	for i, t := range w.Tasks {
+		fmt.Printf("  %-14s %s = %s  arch %s\n",
+			t.Dataset.String(), t.Dataset.Metric(), export.Pct(best.Accuracies[i]),
+			t.Space.ValuesString(best.ArchChoices[i]))
+	}
+	fmt.Printf("  latency %s cycles   energy %s nJ   area %s um2   (specs %s)\n",
+		export.Sci(float64(best.Latency)), export.Sci(best.EnergyNJ),
+		export.Sci(best.AreaUM2), w.Specs)
+	if *trace {
+		problem, _, placements, err := x.Evaluator().Schedule(best.Networks, best.Design)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		sched.RenderGantt(os.Stdout, problem, placements, 96)
+	}
+	if *quiet {
+		return
+	}
+
+	fmt.Printf("\nexploration: %d feasible solutions, %d episodes pruned, %d trainings, %d hardware evaluations\n",
+		len(res.Explored), res.Pruned, res.Trainings, res.HWEvals)
+	n := *top
+	if n > len(res.Explored) {
+		n = len(res.Explored)
+	}
+	fmt.Printf("top %d explored solutions:\n", n)
+	for _, s := range res.Explored[:n] {
+		fmt.Printf("  %s\n", s)
+	}
+}

@@ -1,0 +1,9 @@
+// Package nasaic is a from-scratch Go reproduction of "Co-Exploration of
+// Neural Architectures and Heterogeneous ASIC Accelerator Designs Targeting
+// Multiple Tasks" (Yang et al., DAC 2020, arXiv:2002.04116).
+//
+// The root package only anchors the module and the benchmark harness in
+// bench_test.go; the implementation lives under internal/ (see DESIGN.md for
+// the system inventory) and the runnable entry points under cmd/ and
+// examples/.
+package nasaic

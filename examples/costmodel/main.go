@@ -1,0 +1,113 @@
+// Costmodel: reproduce the dataflow-affinity observation that motivates
+// heterogeneous accelerators (§II, Challenge 2): the NVDLA-style template
+// favors convolution layers with many channels and low resolution (ResNet
+// bodies), while the Shidiannao-style template favors shallow high-resolution
+// layers (U-Net encoders/decoders); row-stationary sits in between.
+//
+//	go run ./examples/costmodel
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"nasaic/internal/dataflow"
+	"nasaic/internal/dnn"
+	"nasaic/internal/export"
+	"nasaic/internal/maestro"
+)
+
+func main() {
+	cfg := maestro.DefaultConfig()
+	const pes, bw = 1024, 32
+
+	layers := []dnn.Layer{
+		// U-Net regime: few channels, huge maps.
+		{Name: "unet-enc1", Op: dnn.Conv, K: 16, C: 16, R: 3, S: 3, X: 128, Y: 128, Stride: 1},
+		{Name: "unet-enc2", Op: dnn.Conv, K: 32, C: 32, R: 3, S: 3, X: 64, Y: 64, Stride: 1},
+		// Transition regime.
+		{Name: "mid-conv", Op: dnn.Conv, K: 64, C: 64, R: 3, S: 3, X: 32, Y: 32, Stride: 1},
+		// ResNet regime: many channels, small maps.
+		{Name: "resnet-b2", Op: dnn.Conv, K: 256, C: 128, R: 3, S: 3, X: 16, Y: 16, Stride: 1},
+		{Name: "resnet-b3", Op: dnn.Conv, K: 256, C: 256, R: 3, S: 3, X: 8, Y: 8, Stride: 1},
+		// Classifier.
+		{Name: "fc", Op: dnn.FC, K: 10, C: 256, R: 1, S: 1, X: 1, Y: 1, Stride: 1},
+	}
+
+	fmt.Printf("per-layer latency in cycles on a %d-PE, %d GB/s sub-accelerator\n", pes, bw)
+	fmt.Println("(winner per row in the last column)")
+	header := []string{"layer", "shape KxC @XxY", "shi", "dla", "rs", "winner"}
+	var rows [][]string
+	for _, l := range layers {
+		cyc := map[dataflow.Style]int64{}
+		for _, s := range dataflow.AllStyles {
+			cyc[s] = cfg.LayerCost(l, s, pes, bw).Cycles
+		}
+		winner := dataflow.Shidiannao
+		for _, s := range dataflow.AllStyles {
+			if cyc[s] < cyc[winner] {
+				winner = s
+			}
+		}
+		rows = append(rows, []string{
+			l.Name,
+			fmt.Sprintf("%dx%d @%dx%d", l.K, l.C, l.X, l.Y),
+			export.Sci(float64(cyc[dataflow.Shidiannao])),
+			export.Sci(float64(cyc[dataflow.NVDLA])),
+			export.Sci(float64(cyc[dataflow.RowStationary])),
+			winner.String(),
+		})
+	}
+	export.Table(os.Stdout, header, rows)
+
+	// Whole-network view: the same affinity at network granularity.
+	fmt.Println("\nwhole-network serial latency (cycles) per dataflow:")
+	resnet, err := dnn.BuildResNet(dnn.ResNetConfig{
+		Name: "resnet9", InputX: 32, InputY: 32, InputC: 3, Classes: 10,
+		FN0: 32, Blocks: []dnn.ResBlock{{FN: 128, SK: 2}, {FN: 256, SK: 2}, {FN: 256, SK: 2}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	unetShallow, err := dnn.BuildUNet(dnn.UNetConfig{
+		Name: "unet-h3", InputX: 128, InputY: 128, InputC: 3, OutC: 1,
+		FN: []int{8, 16, 32},
+	})
+	if err != nil {
+		panic(err)
+	}
+	unetDeep, err := dnn.BuildUNet(dnn.UNetConfig{
+		Name: "unet-h5", InputX: 128, InputY: 128, InputC: 3, OutC: 1,
+		FN: []int{16, 32, 64, 128, 256},
+	})
+	if err != nil {
+		panic(err)
+	}
+	header2 := []string{"network", "shi", "dla", "rs", "winner"}
+	var rows2 [][]string
+	for _, n := range []*dnn.Network{resnet, unetShallow, unetDeep} {
+		cyc := map[dataflow.Style]int64{}
+		for _, s := range dataflow.AllStyles {
+			cyc[s] = cfg.NetworkCost(n, s, pes, bw).Cycles
+		}
+		winner := dataflow.Shidiannao
+		for _, s := range dataflow.AllStyles {
+			if cyc[s] < cyc[winner] {
+				winner = s
+			}
+		}
+		rows2 = append(rows2, []string{
+			n.Name,
+			export.Sci(float64(cyc[dataflow.Shidiannao])),
+			export.Sci(float64(cyc[dataflow.NVDLA])),
+			export.Sci(float64(cyc[dataflow.RowStationary])),
+			winner.String(),
+		})
+	}
+	export.Table(os.Stdout, header2, rows2)
+	fmt.Println("\nNVDLA wins the ResNet; Shidiannao wins the shallow U-Net. The deep")
+	fmt.Println("U-Net mixes both regimes — its encoder/decoder favor Shidiannao while")
+	fmt.Println("its bottleneck favors NVDLA — which is why NASAIC both searches")
+	fmt.Println("heterogeneous sub-accelerator combinations and maps individual layers")
+	fmt.Println("onto the sub-accelerator whose dataflow fits them (§IV-③).")
+}

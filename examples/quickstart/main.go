@@ -1,0 +1,99 @@
+// Quickstart: evaluate one (neural architecture, accelerator design) pair
+// end to end — the core operation inside NASAIC's evaluator.
+//
+// It builds the paper's best-reported CIFAR-10 ResNet-9, pairs it with a
+// two-sub-accelerator heterogeneous design, and reports per-layer mapping,
+// the scheduled latency/energy/area, and the predicted accuracy.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"nasaic/internal/accel"
+	"nasaic/internal/core"
+	"nasaic/internal/dataflow"
+	"nasaic/internal/dnn"
+	"nasaic/internal/export"
+	"nasaic/internal/predictor"
+	"nasaic/internal/workload"
+)
+
+func main() {
+	// 1. A network from the paper's search space: Table II's NAS optimum
+	//    <32, 128, 2, 256, 2, 256, 2>.
+	net, err := dnn.BuildResNet(dnn.ResNetConfig{
+		Name: "resnet9-cifar10", InputX: 32, InputY: 32, InputC: 3, Classes: 10,
+		FN0: 32,
+		Blocks: []dnn.ResBlock{
+			{FN: 128, SK: 2}, {FN: 256, SK: 2}, {FN: 256, SK: 2},
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(net)
+	fmt.Printf("predicted CIFAR-10 accuracy: %s\n\n",
+		export.Pct(predictor.Accuracy(predictor.CIFAR10, net)))
+
+	// 2. A heterogeneous accelerator: an NVDLA-style and a Shidiannao-style
+	//    sub-accelerator sharing the 4096-PE / 64 GB/s budget (§III-➋).
+	design := accel.NewDesign(
+		accel.SubAccel{DF: dataflow.NVDLA, PEs: 2112, BW: 48},
+		accel.SubAccel{DF: dataflow.Shidiannao, PEs: 1984, BW: 16},
+	)
+	if err := design.Validate(accel.DefaultLimits()); err != nil {
+		panic(err)
+	}
+	fmt.Printf("accelerator: %s\n\n", design)
+
+	// 3. Per-layer costs on each sub-accelerator (the HAP cost table).
+	cost := core.DefaultConfig().Cost
+	fmt.Println("per-layer cost table (cycles / nJ):")
+	header := []string{"layer", design.Subs[0].String(), design.Subs[1].String()}
+	var rows [][]string
+	for _, l := range net.ComputeLayers() {
+		row := []string{l.Name}
+		for _, s := range design.Subs {
+			lc := cost.LayerCost(l, s.DF, s.PEs, s.BW)
+			row = append(row, fmt.Sprintf("%s / %s", export.Sci(float64(lc.Cycles)), export.Sci(lc.EnergyNJ)))
+		}
+		rows = append(rows, row)
+	}
+	export.Table(os.Stdout, header, rows)
+
+	// 4. Where does the energy go? Per-level breakdown of the heaviest layer
+	//    on each sub-accelerator.
+	heaviest := net.ComputeLayers()[0]
+	for _, l := range net.ComputeLayers() {
+		if l.MACs() > heaviest.MACs() {
+			heaviest = l
+		}
+	}
+	fmt.Printf("\nenergy breakdown of %s (nJ):\n", heaviest.Name)
+	bh := []string{"sub-accelerator", "MAC", "RF", "NoC", "GB", "DRAM", "total"}
+	var brows [][]string
+	for _, s := range design.Subs {
+		bd := cost.EnergyBreakdown(heaviest, s.DF, s.PEs, s.BW)
+		brows = append(brows, []string{
+			s.String(),
+			export.Sci(bd.MACNJ), export.Sci(bd.RFNJ), export.Sci(bd.NoCNJ),
+			export.Sci(bd.GBNJ), export.Sci(bd.DRAMNJ), export.Sci(bd.Total()),
+		})
+	}
+	export.Table(os.Stdout, bh, brows)
+
+	// 5. Full evaluation against W3's specs via the mapper/scheduler.
+	w := workload.W3()
+	e, err := core.NewEvaluator(w, core.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	m := e.HWEval([]*dnn.Network{net, net}, design)
+	fmt.Printf("\nscheduled on the accelerator (both W3 task instances):\n")
+	fmt.Printf("  latency %s cycles, energy %s nJ, area %s um2\n",
+		export.Sci(float64(m.Latency)), export.Sci(m.EnergyNJ), export.Sci(m.AreaUM2))
+	fmt.Printf("  specs %s -> %s (penalty %.3f)\n", w.Specs, export.Mark(m.Feasible), e.Penalty(m))
+}

@@ -1,0 +1,196 @@
+// Package accel models the heterogeneous ASIC accelerator of §III-➋: a set
+// of sub-accelerators connected through NICs on a global interconnect, each
+// sub-accelerator described by a dataflow template, a PE allocation, and a
+// NoC bandwidth share. The package owns the resource-constraint checks
+// (Σpe ≤ NP, Σbw ≤ BW) and the hardware design space enumerated by the
+// search (the paper's alloc(aic_k) function).
+package accel
+
+import (
+	"fmt"
+	"strings"
+
+	"nasaic/internal/dataflow"
+	"nasaic/internal/maestro"
+)
+
+// Limits are the global hardware resource bounds. The paper's experiments
+// use NP=4096 PEs and BW=64 GB/s, following HERALD [22].
+type Limits struct {
+	MaxPEs int // NP
+	MaxBW  int // BW, GB/s
+}
+
+// DefaultLimits returns the paper's experimental configuration (§V-A).
+func DefaultLimits() Limits { return Limits{MaxPEs: 4096, MaxBW: 64} }
+
+// SubAccel is one sub-accelerator: a dataflow template instantiated with a
+// PE count and a NoC bandwidth share. A SubAccel with zero PEs is a
+// degenerate (absent) sub-accelerator, which the paper uses to let a
+// two-sub-accelerator search space cover single-accelerator designs.
+type SubAccel struct {
+	DF  dataflow.Style
+	PEs int
+	BW  int // GB/s
+}
+
+// Active reports whether the sub-accelerator has any compute resources.
+func (s SubAccel) Active() bool { return s.PEs > 0 }
+
+// String renders the paper's ⟨df, pe, bw⟩ tuple notation.
+func (s SubAccel) String() string {
+	return fmt.Sprintf("<%s, %d, %d>", s.DF, s.PEs, s.BW)
+}
+
+// Design is a complete heterogeneous accelerator: an ordered set of
+// sub-accelerators sharing the global PE and bandwidth budgets.
+type Design struct {
+	Subs []SubAccel
+}
+
+// NewDesign returns a design over the given sub-accelerators.
+func NewDesign(subs ...SubAccel) Design { return Design{Subs: subs} }
+
+// TotalPEs returns Σ pe_i.
+func (d Design) TotalPEs() int {
+	t := 0
+	for _, s := range d.Subs {
+		t += s.PEs
+	}
+	return t
+}
+
+// TotalBW returns Σ bw_i over active sub-accelerators.
+func (d Design) TotalBW() int {
+	t := 0
+	for _, s := range d.Subs {
+		if s.Active() {
+			t += s.BW
+		}
+	}
+	return t
+}
+
+// Active returns the sub-accelerators with non-zero resources, with their
+// original indices.
+func (d Design) Active() []int {
+	var idx []int
+	for i, s := range d.Subs {
+		if s.Active() {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// Heterogeneous reports whether the design combines at least two different
+// dataflow templates among its active sub-accelerators.
+func (d Design) Heterogeneous() bool {
+	seen := map[dataflow.Style]bool{}
+	for _, s := range d.Subs {
+		if s.Active() {
+			seen[s.DF] = true
+		}
+	}
+	return len(seen) > 1
+}
+
+// Validate checks the design against the resource limits.
+func (d Design) Validate(lim Limits) error {
+	if len(d.Subs) == 0 {
+		return fmt.Errorf("accel: design has no sub-accelerators")
+	}
+	active := 0
+	for i, s := range d.Subs {
+		if s.PEs < 0 {
+			return fmt.Errorf("accel: sub-accelerator %d has negative PEs %d", i, s.PEs)
+		}
+		if !s.Active() {
+			continue
+		}
+		active++
+		if s.BW <= 0 {
+			return fmt.Errorf("accel: active sub-accelerator %d has no bandwidth", i)
+		}
+	}
+	if active == 0 {
+		return fmt.Errorf("accel: design has no active sub-accelerator")
+	}
+	if t := d.TotalPEs(); t > lim.MaxPEs {
+		return fmt.Errorf("accel: total PEs %d exceed limit %d", t, lim.MaxPEs)
+	}
+	if t := d.TotalBW(); t > lim.MaxBW {
+		return fmt.Errorf("accel: total bandwidth %d GB/s exceeds limit %d", t, lim.MaxBW)
+	}
+	return nil
+}
+
+// Area returns the accelerator's silicon area in µm² under cost model cfg.
+// bufDemand[i] is the largest buffer requirement among layers mapped to
+// sub-accelerator i (zero for unused sub-accelerators); the slice may be nil
+// when no mapping exists yet, in which case a nominal working buffer is
+// assumed so that area remains comparable across designs.
+func (d Design) Area(cfg maestro.Config, bufDemand []int64) float64 {
+	const nominalBuffer = 64 << 10
+	total := 0.0
+	for i, s := range d.Subs {
+		if !s.Active() {
+			continue
+		}
+		buf := int64(nominalBuffer)
+		if bufDemand != nil && i < len(bufDemand) && bufDemand[i] > 0 {
+			buf = bufDemand[i]
+		}
+		total += cfg.SubAccelArea(s.PEs, s.BW, buf)
+	}
+	return total
+}
+
+// String renders all sub-accelerator tuples.
+func (d Design) String() string {
+	parts := make([]string, len(d.Subs))
+	for i, s := range d.Subs {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Space is the hardware design space the controller samples from: per
+// sub-accelerator, the dataflow template choices and the quantized PE and
+// bandwidth allocations (Fig. 5, right segments).
+type Space struct {
+	Limits    Limits
+	NumSubs   int
+	Styles    []dataflow.Style
+	PEOptions []int // per-sub-accelerator PE allocation choices
+	BWOptions []int // per-sub-accelerator bandwidth choices, GB/s
+}
+
+// DefaultSpace returns the paper's hardware search space: two
+// sub-accelerators, the {shi, dla, rs} template set, PE allocations in steps
+// of 32 (matching the granularity of the solutions reported in Tables I–II),
+// and bandwidth shares in steps of 8 GB/s.
+func DefaultSpace() Space {
+	lim := DefaultLimits()
+	var pes []int
+	for p := 0; p <= lim.MaxPEs; p += 32 {
+		pes = append(pes, p)
+	}
+	var bws []int
+	for b := 8; b <= lim.MaxBW; b += 8 {
+		bws = append(bws, b)
+	}
+	return Space{
+		Limits:    lim,
+		NumSubs:   2,
+		Styles:    append([]dataflow.Style(nil), dataflow.AllStyles...),
+		PEOptions: pes,
+		BWOptions: bws,
+	}
+}
+
+// Feasible reports whether the design satisfies this space's resource
+// limits (a cheap pre-check before full validation).
+func (s Space) Feasible(d Design) bool {
+	return d.Validate(s.Limits) == nil
+}

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"nasaic/internal/accel"
+	"nasaic/internal/dnn"
+	"nasaic/internal/predictor"
+	"nasaic/internal/sched"
+	"nasaic/internal/stats"
+	"nasaic/internal/workload"
+)
+
+// Bounds are the penalty normalizers bl, be, ba of Eq. (3): upper bounds on
+// latency, energy and area obtained by exploring the hardware space with the
+// largest architectures (the circles in Fig. 1).
+type Bounds struct {
+	Latency  int64
+	EnergyNJ float64
+	AreaUM2  float64
+}
+
+// HWMetrics are the hardware-side evaluation results for one
+// (architectures, design) pair.
+type HWMetrics struct {
+	Latency  int64
+	EnergyNJ float64
+	AreaUM2  float64
+	// ResourceOK reports the Σpe ≤ NP, Σbw ≤ BW constraints.
+	ResourceOK bool
+	// Feasible reports that every design spec is met.
+	Feasible bool
+	// BufDemand sizes each sub-accelerator's buffer (design order).
+	BufDemand []int64
+	// Assign is the HAP layer assignment ([chain][layer] → active-sub index).
+	Assign sched.Assignment
+}
+
+// Evaluator implements component ③: the mapping-and-scheduling path via the
+// cost model and HAP solver, and the training-and-validating path via the
+// accuracy predictor with memoization (a trained network is never retrained,
+// matching the paper's non-blocking trainer).
+type Evaluator struct {
+	W      workload.Workload
+	Cfg    Config
+	Bounds Bounds
+
+	mu        sync.Mutex
+	accCache  map[string]float64
+	trainings int
+	hwEvals   int
+}
+
+// NewEvaluator builds an evaluator and computes the penalty bounds.
+func NewEvaluator(w workload.Workload, cfg Config) (*Evaluator, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Evaluator{W: w, Cfg: cfg, accCache: map[string]float64{}}
+	e.Bounds = e.computeBounds()
+	return e, nil
+}
+
+// computeBounds explores the hardware space with the largest architecture of
+// every task — the networks spec-blind NAS converges to — and takes, per
+// metric, the best value any sampled design achieves. These are the Fig. 1
+// circles the paper defines bl/be/ba from: the envelope that successive
+// NAS→ASIC optimization cannot improve past. Each bound is floored at
+// 1.25× its spec so the Eq. (3) denominators stay positive and the penalty
+// keeps a useful gradient scale.
+func (e *Evaluator) computeBounds() Bounds {
+	rng := stats.NewRNG(e.Cfg.Seed ^ 0x5eed)
+	nets := make([]*dnn.Network, len(e.W.Tasks))
+	for i, t := range e.W.Tasks {
+		nets[i] = t.Space.MustDecode(t.Space.Largest())
+	}
+	var b Bounds
+	first := true
+	const samples = 60
+	for s := 0; s < samples; s++ {
+		d := e.randomDesign(rng)
+		m := e.hwEval(nets, d, false)
+		if !m.ResourceOK {
+			continue
+		}
+		if first {
+			b = Bounds{Latency: m.Latency, EnergyNJ: m.EnergyNJ, AreaUM2: m.AreaUM2}
+			first = false
+			continue
+		}
+		if m.Latency < b.Latency {
+			b.Latency = m.Latency
+		}
+		if m.EnergyNJ < b.EnergyNJ {
+			b.EnergyNJ = m.EnergyNJ
+		}
+		if m.AreaUM2 < b.AreaUM2 {
+			b.AreaUM2 = m.AreaUM2
+		}
+	}
+	sp := e.W.Specs
+	if min := int64(float64(sp.LatencyCycles) * 1.25); b.Latency < min {
+		b.Latency = min
+	}
+	if min := sp.EnergyNJ * 1.25; b.EnergyNJ < min {
+		b.EnergyNJ = min
+	}
+	if min := sp.AreaUM2 * 1.25; b.AreaUM2 < min {
+		b.AreaUM2 = min
+	}
+	return b
+}
+
+// randomDesign samples a resource-feasible design uniformly (rejection).
+func (e *Evaluator) randomDesign(rng *stats.RNG) accel.Design {
+	hw := e.Cfg.HW
+	for {
+		subs := make([]accel.SubAccel, hw.NumSubs)
+		for i := range subs {
+			subs[i] = accel.SubAccel{
+				DF:  hw.Styles[rng.Intn(len(hw.Styles))],
+				PEs: hw.PEOptions[rng.Intn(len(hw.PEOptions))],
+				BW:  hw.BWOptions[rng.Intn(len(hw.BWOptions))],
+			}
+		}
+		d := accel.NewDesign(subs...)
+		if d.Validate(hw.Limits) == nil {
+			return d
+		}
+	}
+}
+
+// HWEval evaluates the hardware metrics of running the given networks on
+// design d (mapping and scheduling via HAP under the latency spec).
+func (e *Evaluator) HWEval(nets []*dnn.Network, d accel.Design) HWMetrics {
+	return e.hwEval(nets, d, true)
+}
+
+func (e *Evaluator) hwEval(nets []*dnn.Network, d accel.Design, count bool) HWMetrics {
+	if count {
+		e.mu.Lock()
+		e.hwEvals++
+		e.mu.Unlock()
+	}
+	if d.Validate(e.Cfg.HW.Limits) != nil {
+		// Resource-violating sample: report the bound metrics so the
+		// penalty saturates; the reward then steers the controller back
+		// into the feasible region.
+		return HWMetrics{
+			Latency:  maxI64(e.Bounds.Latency, 2*e.W.Specs.LatencyCycles),
+			EnergyNJ: maxF(e.Bounds.EnergyNJ, 2*e.W.Specs.EnergyNJ),
+			AreaUM2:  maxF(e.Bounds.AreaUM2, 2*e.W.Specs.AreaUM2),
+		}
+	}
+
+	active := d.Active()
+	problem := e.buildProblem(nets, d, active)
+
+	_, res, err := sched.HAP(problem)
+	if err != nil {
+		panic(fmt.Sprintf("core: HAP failed: %v", err))
+	}
+
+	buf := make([]int64, len(d.Subs))
+	for ai, di := range active {
+		if ai < len(res.BufferDemand) {
+			buf[di] = res.BufferDemand[ai]
+		}
+	}
+	area := d.Area(e.Cfg.Cost, buf)
+	sp := e.W.Specs
+	return HWMetrics{
+		Latency:    res.Makespan,
+		EnergyNJ:   res.EnergyNJ,
+		AreaUM2:    area,
+		ResourceOK: true,
+		Feasible:   res.Makespan <= sp.LatencyCycles && res.EnergyNJ <= sp.EnergyNJ && area <= sp.AreaUM2,
+		BufDemand:  buf,
+		Assign:     res.Assign,
+	}
+}
+
+// buildProblem assembles the HAP cost table for the given networks on the
+// design's active sub-accelerators.
+func (e *Evaluator) buildProblem(nets []*dnn.Network, d accel.Design, active []int) sched.Problem {
+	problem := sched.Problem{
+		NumAccels: len(active),
+		Deadline:  e.W.Specs.LatencyCycles,
+	}
+	for ni, n := range nets {
+		ch := sched.Chain{Name: fmt.Sprintf("net%d", ni)}
+		for _, l := range n.ComputeLayers() {
+			sl := sched.Layer{Name: l.Name, Options: make([]sched.Option, len(active))}
+			for ai, di := range active {
+				sub := d.Subs[di]
+				lc := e.Cfg.Cost.LayerCost(l, sub.DF, sub.PEs, sub.BW)
+				sl.Options[ai] = sched.Option{
+					Cycles:      lc.Cycles,
+					EnergyNJ:    lc.EnergyNJ,
+					BufferBytes: lc.BufferBytes,
+				}
+			}
+			ch.Layers = append(ch.Layers, sl)
+		}
+		problem.Chains = append(problem.Chains, ch)
+	}
+	return problem
+}
+
+// Schedule returns the concrete HAP schedule (problem, result, per-layer
+// placements) of the networks on design d — the map() and sch() functions of
+// §III-➌ made inspectable. It errors when the design violates resource
+// limits.
+func (e *Evaluator) Schedule(nets []*dnn.Network, d accel.Design) (sched.Problem, sched.Result, []sched.Placement, error) {
+	if err := d.Validate(e.Cfg.HW.Limits); err != nil {
+		return sched.Problem{}, sched.Result{}, nil, err
+	}
+	problem := e.buildProblem(nets, d, d.Active())
+	_, res, err := sched.HAP(problem)
+	if err != nil {
+		return sched.Problem{}, sched.Result{}, nil, err
+	}
+	res2, placements, err := sched.Timeline(problem, res.Assign)
+	if err != nil {
+		return sched.Problem{}, sched.Result{}, nil, err
+	}
+	return problem, res2, placements, nil
+}
+
+// Penalty computes Eq. (3) for the given metrics.
+func (e *Evaluator) Penalty(m HWMetrics) float64 {
+	sp, b := e.W.Specs, e.Bounds
+	p := relExcess(float64(m.Latency), float64(sp.LatencyCycles), float64(b.Latency)) +
+		relExcess(m.EnergyNJ, sp.EnergyNJ, b.EnergyNJ) +
+		relExcess(m.AreaUM2, sp.AreaUM2, b.AreaUM2)
+	if !m.ResourceOK {
+		p += 1
+	}
+	return p
+}
+
+func relExcess(r, spec, bound float64) float64 {
+	if r <= spec {
+		return 0
+	}
+	den := bound - spec
+	if den <= 0 {
+		den = spec
+	}
+	return (r - spec) / den
+}
+
+// Accuracies runs the training-and-validating path for every task network,
+// memoized by architecture signature.
+func (e *Evaluator) Accuracies(nets []*dnn.Network) []float64 {
+	if len(nets) != len(e.W.Tasks) {
+		panic("core: network count mismatch")
+	}
+	accs := make([]float64, len(nets))
+	for i, n := range nets {
+		key := e.W.Tasks[i].Dataset.String() + "|" + n.Signature()
+		e.mu.Lock()
+		q, ok := e.accCache[key]
+		e.mu.Unlock()
+		if !ok {
+			q = predictor.Accuracy(e.W.Tasks[i].Dataset, n)
+			e.mu.Lock()
+			e.accCache[key] = q
+			e.trainings++
+			e.mu.Unlock()
+		}
+		accs[i] = q
+	}
+	return accs
+}
+
+// Reward computes Eq. (4): R = weighted(D) − ρ·P.
+func (e *Evaluator) Reward(weighted, penalty float64) float64 {
+	return weighted - e.Cfg.Rho*penalty
+}
+
+// Stats returns (trainings performed, hardware evaluations performed).
+func (e *Evaluator) Stats() (trainings, hwEvals int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.trainings, e.hwEvals
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

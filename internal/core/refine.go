@@ -1,0 +1,121 @@
+package core
+
+import (
+	"nasaic/internal/rl"
+	"nasaic/internal/stats"
+)
+
+// Exploit-phase tuning knobs.
+const (
+	refinePasses = 3  // coordinate-descent passes per descent
+	refineWindow = 10 // option window for very wide decisions (PE counts)
+	wideLimit    = 24 // option count beyond which the window applies
+	hopRounds    = 12 // basin-hopping perturbation rounds
+)
+
+// refineFrom polishes one incumbent with feasibility-preserving coordinate
+// descent over the full decision vector (architecture hyperparameters and
+// hardware allocations together), followed by basin hopping: random 2–3
+// decision perturbations with re-descent, which enables the paired moves —
+// shrink one task's network while growing another's — that single-coordinate
+// descent cannot discover.
+//
+// The exploit phase is an extension over the paper's plain REINFORCE search:
+// it converts the controller's good co-design region into that region's
+// local optimum, which the successive baselines cannot reach because they
+// freeze one side of the space. Its contribution is measured by the
+// refinement ablation benchmark.
+func (x *Explorer) refineFrom(sol *Solution, specs []rl.DecisionSpec, rng *stats.RNG) *Solution {
+	best := x.descend(sol, specs, refinePasses)
+	for r := 0; r < hopRounds; r++ {
+		a := append([]int(nil), best.actions...)
+		k := 2 + rng.Intn(2)
+		for i := 0; i < k; i++ {
+			t := rng.Intn(len(specs))
+			a[t] = rng.Intn(specs[t].NumOptions)
+		}
+		cand := x.evalActions(a, best.Episode)
+		if cand == nil {
+			continue
+		}
+		cand = x.descend(cand, specs, 2)
+		if cand.Weighted > best.Weighted+1e-9 {
+			best = cand
+		}
+	}
+	return best
+}
+
+// descend runs coordinate descent from sol, sweeping each decision over its
+// options (windowed to ±refineWindow around the current index for very wide
+// option lists) and keeping the feasible change that most improves weighted
+// accuracy.
+func (x *Explorer) descend(sol *Solution, specs []rl.DecisionSpec, maxPasses int) *Solution {
+	best := sol
+	cur := append([]int(nil), sol.actions...)
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		for t := range specs {
+			orig := cur[t]
+			bestOpt := orig
+			lo, hi := 0, specs[t].NumOptions
+			if specs[t].NumOptions > wideLimit {
+				lo, hi = orig-refineWindow, orig+refineWindow+1
+				if lo < 0 {
+					lo = 0
+				}
+				if hi > specs[t].NumOptions {
+					hi = specs[t].NumOptions
+				}
+			}
+			for opt := lo; opt < hi; opt++ {
+				if opt == orig {
+					continue
+				}
+				cur[t] = opt
+				if cand := x.evalActions(cur, sol.Episode); cand != nil && cand.Weighted > best.Weighted+1e-9 {
+					best = cand
+					bestOpt = opt
+				}
+			}
+			cur[t] = bestOpt
+			if bestOpt != orig {
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return best
+}
+
+// evalActions evaluates a full action vector, returning nil when the decoded
+// pair is infeasible.
+func (x *Explorer) evalActions(a []int, episode int) *Solution {
+	choices, nets, err := x.decodeArch(a[:x.archLen])
+	if err != nil {
+		return nil
+	}
+	d := x.decodeDesign(a)
+	m := x.eval.HWEval(nets, d)
+	if !m.Feasible {
+		return nil
+	}
+	accs := x.eval.Accuracies(nets)
+	weighted := x.W.Weighted(accs)
+	return &Solution{
+		Episode:     episode,
+		ArchChoices: choices,
+		Networks:    nets,
+		Design:      d,
+		Accuracies:  accs,
+		Weighted:    weighted,
+		Latency:     m.Latency,
+		EnergyNJ:    m.EnergyNJ,
+		AreaUM2:     m.AreaUM2,
+		Reward:      x.eval.Reward(weighted, 0),
+		Feasible:    true,
+		actions:     append([]int(nil), a...),
+	}
+}

@@ -1,0 +1,285 @@
+// Package dataflow implements the ASIC accelerator template set at the heart
+// of NASAIC (§II Challenge 1, Fig. 2): each template is a dataflow style —
+// Shidiannao [18], NVDLA [19], or row-stationary/Eyeriss [15] — and, given a
+// PE budget, fully determines how a network layer's loop nest is spatially
+// unrolled, which tensors are reused where, and how much data crosses each
+// level of the memory hierarchy.
+//
+// The package produces a Mapping per (layer, style, PE count); the
+// internal/maestro package converts Mappings into latency, energy and area
+// using calibrated per-access costs.
+package dataflow
+
+import (
+	"fmt"
+
+	"nasaic/internal/dnn"
+)
+
+// Style identifies a dataflow template.
+type Style int
+
+// The template set used in the paper's experiments (§V-A).
+const (
+	Shidiannao    Style = iota // "shi": output-pixel parallel, input shifting
+	NVDLA                      // "dla": channel parallel, adder-tree reduction
+	RowStationary              // "rs": filter-row / output-row parallel (Eyeriss)
+)
+
+// AllStyles lists every supported template in canonical order.
+var AllStyles = []Style{Shidiannao, NVDLA, RowStationary}
+
+// String returns the paper's abbreviation for the style.
+func (s Style) String() string {
+	switch s {
+	case Shidiannao:
+		return "shi"
+	case NVDLA:
+		return "dla"
+	case RowStationary:
+		return "rs"
+	case Systolic:
+		return "sys"
+	default:
+		return fmt.Sprintf("style(%d)", int(s))
+	}
+}
+
+// ParseStyle converts an abbreviation ("shi", "dla", "rs") to a Style.
+func ParseStyle(name string) (Style, error) {
+	switch name {
+	case "shi", "shidiannao":
+		return Shidiannao, nil
+	case "dla", "nvdla":
+		return NVDLA, nil
+	case "rs", "row-stationary", "rowstationary", "eyeriss":
+		return RowStationary, nil
+	case "sys", "systolic", "tpu":
+		return Systolic, nil
+	default:
+		return 0, fmt.Errorf("dataflow: unknown style %q", name)
+	}
+}
+
+// BytesPerElem is the storage size of one tensor element. Edge ASIC
+// accelerators of the class modeled here run 8-bit quantized inference.
+const BytesPerElem = 1
+
+// Mapping is the result of binding one layer to one dataflow template with a
+// given PE count: temporal step count, average spatial utilization, data
+// movement per memory level (in elements), and on-chip buffer demand.
+type Mapping struct {
+	Style Style
+	PEs   int
+
+	// Steps is the number of temporal iterations; with a 1-MAC/PE/cycle
+	// array this is the compute-bound cycle count.
+	Steps int64
+	// Utilization is the average fraction of PEs doing useful work.
+	Utilization float64
+
+	// NoC traffic between global buffer and PE array, in elements.
+	WeightTraffic int64
+	InputTraffic  int64
+	OutputTraffic int64
+
+	// GBAccesses counts global-buffer reads+writes (elements); DRAMAccesses
+	// counts off-chip transfers (elements, compulsory misses only — the
+	// paper sizes buffers to support full reuse, §III-➋).
+	GBAccesses   int64
+	DRAMAccesses int64
+
+	// LocalAccesses counts PE register-file accesses (elements).
+	LocalAccesses int64
+
+	// BufferBytes is the on-chip buffer capacity the mapping needs.
+	BufferBytes int64
+
+	// MACs is the layer's total multiply-accumulate work.
+	MACs int64
+}
+
+// NoCTraffic returns total elements crossing the NoC.
+func (m Mapping) NoCTraffic() int64 {
+	return m.WeightTraffic + m.InputTraffic + m.OutputTraffic
+}
+
+// tensor sizes in elements.
+func tensorSizes(l dnn.Layer) (w, in, out int64) {
+	w = int64(l.K) * int64(l.C) * int64(l.R) * int64(l.S)
+	in = l.InputElems()
+	out = l.OutputElems()
+	return
+}
+
+// Map binds layer l to the given style with pes processing elements.
+// It panics if pes <= 0 or the layer carries no MAC work; callers filter
+// non-compute layers first.
+func Map(style Style, l dnn.Layer, pes int) Mapping {
+	if pes <= 0 {
+		panic(fmt.Sprintf("dataflow: non-positive PE count %d", pes))
+	}
+	if !l.Op.Compute() {
+		panic(fmt.Sprintf("dataflow: layer %s (%s) carries no MAC work", l.Name, l.Op))
+	}
+	switch style {
+	case Shidiannao:
+		return mapShidiannao(l, pes)
+	case NVDLA:
+		return mapNVDLA(l, pes)
+	case RowStationary:
+		return mapRowStationary(l, pes)
+	case Systolic:
+		return mapSystolic(l, pes)
+	default:
+		panic(fmt.Sprintf("dataflow: unknown style %d", int(style)))
+	}
+}
+
+func ceilDiv(a, b int64) int64 {
+	if b <= 0 {
+		panic("dataflow: ceilDiv by non-positive divisor")
+	}
+	return (a + b - 1) / b
+}
+
+func finish(m *Mapping, l dnn.Layer) Mapping {
+	w, in, out := tensorSizes(l)
+	m.MACs = l.MACs()
+	// Each MAC reads a weight and an input from the register file and
+	// read-modify-writes a partial sum: ~4 RF accesses per MAC.
+	m.LocalAccesses = 4 * m.MACs
+	// The global buffer serves every NoC transfer once.
+	m.GBAccesses = m.NoCTraffic()
+	// Compulsory DRAM traffic: each tensor moves on/off chip once.
+	m.DRAMAccesses = w + in + out
+	if m.Steps < 1 {
+		m.Steps = 1
+	}
+	util := float64(m.MACs) / (float64(m.Steps) * float64(m.PEs))
+	if util > 1 {
+		util = 1
+	}
+	m.Utilization = util
+	return *m
+}
+
+// mapShidiannao implements the Shidiannao-style template (DF1 in Fig. 2):
+// the PE array spatially unrolls output pixels (X'×Y'); inputs propagate
+// between neighboring PEs; one weight is broadcast per cycle; partial sums
+// stay put (output stationary). It excels on large spatial maps with few
+// channels — the U-Net regime — and wastes the array on late ResNet layers.
+func mapShidiannao(l dnn.Layer, pes int) Mapping {
+	w, in, out := tensorSizes(l)
+	ox, oy := int64(l.OutX()), int64(l.OutY())
+	spatial := ox * oy
+	ntSp := ceilDiv(spatial, int64(pes))
+
+	m := Mapping{Style: Shidiannao, PEs: pes}
+	m.Steps = ntSp * int64(l.K) * int64(l.C) * int64(l.R) * int64(l.S)
+
+	// Weights are re-broadcast once per spatial tile (a broadcast counts as
+	// one NoC transaction). Inputs are fetched per tile with a kernel halo;
+	// inter-PE shifting removes intra-tile re-reads. Outputs leave once.
+	m.WeightTraffic = w * ntSp
+	halo := 1.0
+	if ntSp > 1 {
+		halo = 1.2
+	}
+	m.InputTraffic = int64(float64(in) * halo)
+	m.OutputTraffic = out
+
+	// Buffer: the full weight set cycles per tile so it stays resident; one
+	// tile of inputs (with halo) and the live output tile accompany it.
+	inTile := ceilDiv(in, ntSp)
+	m.BufferBytes = BytesPerElem * (w + int64(float64(inTile)*1.3) + int64(pes))
+	return finish(&m, l)
+}
+
+// mapNVDLA implements the NVDLA-style template (DF2 in Fig. 2): the array
+// spatially unrolls (K, C); weights stay resident (weight stationary) while
+// activations stream; an adder tree reduces across the C lanes. It excels on
+// many-channel, low-resolution layers — the ResNet regime — and starves on
+// shallow high-resolution layers.
+func mapNVDLA(l dnn.Layer, pes int) Mapping {
+	w, in, out := tensorSizes(l)
+	ox, oy := int64(l.OutX()), int64(l.OutY())
+
+	tc := int64(l.C)
+	if tc > int64(pes) {
+		tc = int64(pes)
+	}
+	tk := int64(pes) / tc
+	if tk < 1 {
+		tk = 1
+	}
+	if tk > int64(l.K) {
+		tk = int64(l.K)
+	}
+	ntC := ceilDiv(int64(l.C), tc)
+	ntK := ceilDiv(int64(l.K), tk)
+
+	m := Mapping{Style: NVDLA, PEs: pes}
+	m.Steps = ntK * ntC * int64(l.R) * int64(l.S) * ox * oy
+
+	// Weight stationary: every weight enters the array exactly once.
+	// Inputs are re-streamed once per K-tile (broadcast across the K lanes
+	// of a tile is one transaction). Partial sums spill to the buffer across
+	// C-tiles: ntC writes and ntC-1 read-backs per output element.
+	m.WeightTraffic = w
+	m.InputTraffic = in * ntK
+	m.OutputTraffic = out * (2*ntC - 1)
+
+	wTile := tk * tc * int64(l.R) * int64(l.S)
+	inSlice := ceilDiv(in, ntC)
+	m.BufferBytes = BytesPerElem * (wTile + inSlice + out)
+	return finish(&m, l)
+}
+
+// mapRowStationary implements the Eyeriss row-stationary template (DF3):
+// the array spatially unrolls (filter-row R × output-row Y') pairs and
+// replicates across (K, C) when the array is underfilled, balancing
+// convolutional, filter, and partial-sum reuse.
+func mapRowStationary(l dnn.Layer, pes int) Mapping {
+	w, in, out := tensorSizes(l)
+	ox, oy := int64(l.OutX()), int64(l.OutY())
+
+	base := int64(l.R) * oy
+	ntSp := ceilDiv(base, int64(pes))
+	repl := int64(1)
+	if ntSp == 1 {
+		repl = int64(pes) / base
+		if repl < 1 {
+			repl = 1
+		}
+		if max := int64(l.K) * int64(l.C); repl > max {
+			repl = max
+		}
+	}
+	// Replication covers K first (independent psums), then C.
+	replK := repl
+	if replK > int64(l.K) {
+		replK = int64(l.K)
+	}
+	replC := repl / replK
+	if replC < 1 {
+		replC = 1
+	}
+	ntK := ceilDiv(int64(l.K), replK)
+	ntC := ceilDiv(int64(l.C), replC)
+
+	m := Mapping{Style: RowStationary, PEs: pes}
+	m.Steps = ntSp * ntK * ntC * int64(l.S) * ox
+
+	// Filter rows are multicast once per spatial tile and stay resident
+	// across the X' sweep; inputs are re-fetched once per K-tile with a row
+	// halo; psums spill across C-tiles.
+	m.WeightTraffic = w * ntSp
+	m.InputTraffic = int64(float64(in*ntK) * 1.1)
+	m.OutputTraffic = out * (2*ntC - 1)
+
+	wTile := replK * replC * int64(l.R) * int64(l.S)
+	inRows := ceilDiv(in, oy) * int64(l.R+1)
+	m.BufferBytes = BytesPerElem * (wTile + inRows + ceilDiv(out, ntK))
+	return finish(&m, l)
+}

@@ -1,0 +1,186 @@
+package dataflow
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nasaic/internal/dnn"
+)
+
+// wideShallow is a U-Net-style layer: huge spatial map, few channels.
+func wideShallow() dnn.Layer {
+	return dnn.Layer{Name: "enc1", Op: dnn.Conv, K: 16, C: 16, R: 3, S: 3, X: 128, Y: 128, Stride: 1}
+}
+
+// deepNarrow is a late-ResNet-style layer: many channels, tiny map.
+func deepNarrow() dnn.Layer {
+	return dnn.Layer{Name: "b3_res", Op: dnn.Conv, K: 256, C: 256, R: 3, S: 3, X: 8, Y: 8, Stride: 1}
+}
+
+func TestStyleStringAndParse(t *testing.T) {
+	for _, s := range AllStyles {
+		got, err := ParseStyle(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseStyle(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	for name, want := range map[string]Style{
+		"shidiannao": Shidiannao, "nvdla": NVDLA, "eyeriss": RowStationary,
+		"row-stationary": RowStationary,
+	} {
+		got, err := ParseStyle(name)
+		if err != nil || got != want {
+			t.Errorf("ParseStyle(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseStyle("gpu"); err == nil {
+		t.Error("ParseStyle should reject unknown styles")
+	}
+}
+
+// The paper's central affinity claim (§II Challenge 2): NVDLA favors
+// many-channel low-resolution layers; Shidiannao favors the opposite.
+func TestDataflowAffinity(t *testing.T) {
+	const pes = 1024
+	shiWide := Map(Shidiannao, wideShallow(), pes)
+	dlaWide := Map(NVDLA, wideShallow(), pes)
+	if shiWide.Steps >= dlaWide.Steps {
+		t.Errorf("wide shallow layer: shi steps %d should beat dla steps %d",
+			shiWide.Steps, dlaWide.Steps)
+	}
+	shiDeep := Map(Shidiannao, deepNarrow(), pes)
+	dlaDeep := Map(NVDLA, deepNarrow(), pes)
+	if dlaDeep.Steps >= shiDeep.Steps {
+		t.Errorf("deep narrow layer: dla steps %d should beat shi steps %d",
+			dlaDeep.Steps, shiDeep.Steps)
+	}
+}
+
+// Row-stationary should sit between the two extremes on both regimes
+// (it is the balanced compromise, never catastrophically bad).
+func TestRowStationaryBalanced(t *testing.T) {
+	const pes = 1024
+	for _, l := range []dnn.Layer{wideShallow(), deepNarrow()} {
+		rs := Map(RowStationary, l, pes)
+		shi := Map(Shidiannao, l, pes)
+		dla := Map(NVDLA, l, pes)
+		worst := shi.Steps
+		if dla.Steps > worst {
+			worst = dla.Steps
+		}
+		if rs.Steps > worst {
+			t.Errorf("layer %s: rs steps %d worse than the worst specialist %d",
+				l.Name, rs.Steps, worst)
+		}
+	}
+}
+
+func TestStepsNeverBeatIdeal(t *testing.T) {
+	layers := []dnn.Layer{
+		wideShallow(), deepNarrow(),
+		{Name: "fc", Op: dnn.FC, K: 10, C: 256, R: 1, S: 1, X: 1, Y: 1, Stride: 1},
+		{Name: "up", Op: dnn.UpConv, K: 64, C: 128, R: 2, S: 2, X: 16, Y: 16, Stride: 1},
+	}
+	for _, l := range layers {
+		for _, s := range AllStyles {
+			for _, pes := range []int{8, 64, 333, 1024, 4096} {
+				m := Map(s, l, pes)
+				ideal := (l.MACs() + int64(pes) - 1) / int64(pes)
+				if m.Steps < ideal {
+					t.Errorf("%s/%s pes=%d: steps %d < ideal %d", l.Name, s, pes, m.Steps, ideal)
+				}
+				if m.Utilization <= 0 || m.Utilization > 1 {
+					t.Errorf("%s/%s pes=%d: utilization %f out of (0,1]", l.Name, s, pes, m.Utilization)
+				}
+			}
+		}
+	}
+}
+
+func TestTrafficLowerBounds(t *testing.T) {
+	for _, l := range []dnn.Layer{wideShallow(), deepNarrow()} {
+		w := int64(l.K) * int64(l.C) * int64(l.R) * int64(l.S)
+		in, out := l.InputElems(), l.OutputElems()
+		for _, s := range AllStyles {
+			m := Map(s, l, 512)
+			if m.WeightTraffic < w {
+				t.Errorf("%s/%s: weight traffic %d < unique weights %d", l.Name, s, m.WeightTraffic, w)
+			}
+			if m.InputTraffic < in {
+				t.Errorf("%s/%s: input traffic %d < unique inputs %d", l.Name, s, m.InputTraffic, in)
+			}
+			if m.OutputTraffic < out {
+				t.Errorf("%s/%s: output traffic %d < unique outputs %d", l.Name, s, m.OutputTraffic, out)
+			}
+			if m.DRAMAccesses != w+in+out {
+				t.Errorf("%s/%s: DRAM %d != compulsory %d", l.Name, s, m.DRAMAccesses, w+in+out)
+			}
+			if m.GBAccesses != m.NoCTraffic() {
+				t.Errorf("%s/%s: GB accesses %d != NoC traffic %d", l.Name, s, m.GBAccesses, m.NoCTraffic())
+			}
+			if m.BufferBytes <= 0 {
+				t.Errorf("%s/%s: non-positive buffer demand", l.Name, s)
+			}
+		}
+	}
+}
+
+// Property: doubling the PE budget never increases the step count.
+func TestMorePEsNeverSlower(t *testing.T) {
+	f := func(k8, c8, xy8, pe16 uint16, styleIdx uint8) bool {
+		l := dnn.Layer{
+			Name: "p", Op: dnn.Conv,
+			K: int(k8%256) + 1, C: int(c8%256) + 1,
+			R: 3, S: 3,
+			X: int(xy8%64) + 1, Y: int(xy8%64) + 1, Stride: 1,
+		}
+		pes := int(pe16%2048) + 1
+		s := AllStyles[int(styleIdx)%len(AllStyles)]
+		a := Map(s, l, pes)
+		b := Map(s, l, 2*pes)
+		return b.Steps <= a.Steps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: steps * PEs >= MACs (no over-unity compute) for random layers.
+func TestWorkConservation(t *testing.T) {
+	f := func(k8, c8, x8, y8 uint8, pe16 uint16, styleIdx uint8) bool {
+		l := dnn.Layer{
+			Name: "p", Op: dnn.Conv,
+			K: int(k8%128) + 1, C: int(c8%128) + 1,
+			R: 3, S: 3,
+			X: int(x8%96) + 1, Y: int(y8%96) + 1, Stride: 1,
+		}
+		pes := int(pe16%4096) + 1
+		s := AllStyles[int(styleIdx)%len(AllStyles)]
+		m := Map(s, l, pes)
+		return m.Steps*int64(pes) >= m.MACs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMapPanicsOnBadInput(t *testing.T) {
+	l := wideShallow()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for pes=0")
+			}
+		}()
+		Map(Shidiannao, l, 0)
+	}()
+	pool := dnn.Layer{Name: "p", Op: dnn.MaxPool, K: 4, C: 4, R: 2, S: 2, X: 8, Y: 8, Stride: 2}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for non-compute layer")
+			}
+		}()
+		Map(Shidiannao, pool, 64)
+	}()
+}

@@ -1,0 +1,67 @@
+package dataflow
+
+import "nasaic/internal/dnn"
+
+// Systolic is an extension template beyond the paper's three: a TPU-style
+// two-dimensional weight-stationary systolic array. Like NVDLA it unrolls
+// (K, C), but inputs flow through the array diagonally (reused across the K
+// rows without re-broadcast) and partial sums accumulate inside the array,
+// trading extra fill/drain latency per tile for lower NoC traffic.
+//
+// It is deliberately NOT part of AllStyles: the paper's experiments use
+// exactly {shi, dla, rs}, and the calibrated results depend on that set.
+// ExtendedStyles adds it for the template-set ablation (does widening the
+// template library improve NASAIC's solutions?).
+const Systolic Style = 3
+
+// ExtendedStyles is the template set including the systolic extension.
+var ExtendedStyles = []Style{Shidiannao, NVDLA, RowStationary, Systolic}
+
+func mapSystolic(l dnn.Layer, pes int) Mapping {
+	w, in, out := tensorSizes(l)
+	ox, oy := int64(l.OutX()), int64(l.OutY())
+
+	// Square-ish array factorization over (K, C).
+	tc := int64(1)
+	for tc*tc < int64(pes) {
+		tc++
+	}
+	if tc > int64(l.C) {
+		tc = int64(l.C)
+	}
+	tk := int64(pes) / tc
+	if tk < 1 {
+		tk = 1
+	}
+	if tk > int64(l.K) {
+		tk = int64(l.K)
+	}
+	ntC := ceilDiv(int64(l.C), tc)
+	ntK := ceilDiv(int64(l.K), tk)
+
+	m := Mapping{Style: Systolic, PEs: pes}
+	// Each tile sweeps the full output map; fill/drain adds the array
+	// diagonal per tile.
+	tiles := ntK * ntC
+	m.Steps = tiles*int64(l.R)*int64(l.S)*ox*oy + tiles*(tk+tc)
+
+	// Weight stationary: weights enter once. Inputs propagate through the
+	// array, so a K-tile re-stream is shared by half the rows on average.
+	// Partial sums accumulate in-array across the C dimension of a tile and
+	// spill only across C-tiles.
+	m.WeightTraffic = w
+	m.InputTraffic = in * maxI64(1, (ntK+1)/2)
+	m.OutputTraffic = out * (2*ntC - 1)
+
+	wTile := tk * tc * int64(l.R) * int64(l.S)
+	inSlice := ceilDiv(in, ntC)
+	m.BufferBytes = BytesPerElem * (wTile + inSlice + out)
+	return finish(&m, l)
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,95 @@
+package dataflow
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nasaic/internal/dnn"
+)
+
+func TestSystolicStringAndParse(t *testing.T) {
+	if Systolic.String() != "sys" {
+		t.Errorf("String = %q", Systolic.String())
+	}
+	for _, name := range []string{"sys", "systolic", "tpu"} {
+		got, err := ParseStyle(name)
+		if err != nil || got != Systolic {
+			t.Errorf("ParseStyle(%q) = %v, %v", name, got, err)
+		}
+	}
+	// The paper's template set must stay untouched.
+	if len(AllStyles) != 3 {
+		t.Fatalf("AllStyles grew to %d — the paper's set is exactly 3 templates", len(AllStyles))
+	}
+	if len(ExtendedStyles) != 4 || ExtendedStyles[3] != Systolic {
+		t.Error("ExtendedStyles must be AllStyles plus Systolic")
+	}
+}
+
+func TestSystolicWorkConservation(t *testing.T) {
+	f := func(k8, c8, x8, y8 uint8, pe16 uint16) bool {
+		l := dnn.Layer{
+			Name: "p", Op: dnn.Conv,
+			K: int(k8%128) + 1, C: int(c8%128) + 1,
+			R: 3, S: 3,
+			X: int(x8%64) + 1, Y: int(y8%64) + 1, Stride: 1,
+		}
+		pes := int(pe16%4096) + 1
+		m := Map(Systolic, l, pes)
+		return m.Steps*int64(pes) >= m.MACs && m.Utilization > 0 && m.Utilization <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The systolic array's signature trade-off: on NVDLA's home turf (deep,
+// narrow layers) it needs no more NoC traffic than NVDLA (in-array input
+// propagation) while paying extra fill/drain steps.
+func TestSystolicTradeoff(t *testing.T) {
+	l := deepNarrow()
+	const pes = 1024
+	sys := Map(Systolic, l, pes)
+	dla := Map(NVDLA, l, pes)
+	if sys.NoCTraffic() > dla.NoCTraffic() {
+		t.Errorf("systolic NoC traffic %d should not exceed dla %d",
+			sys.NoCTraffic(), dla.NoCTraffic())
+	}
+	if sys.Steps < dla.Steps {
+		t.Errorf("systolic steps %d should pay fill/drain vs dla %d", sys.Steps, dla.Steps)
+	}
+	// Still within the same order of magnitude on compute.
+	if sys.Steps > 4*dla.Steps {
+		t.Errorf("systolic steps %d unreasonably worse than dla %d", sys.Steps, dla.Steps)
+	}
+}
+
+func TestSystolicTrafficLowerBounds(t *testing.T) {
+	for _, l := range []dnn.Layer{wideShallow(), deepNarrow()} {
+		w := int64(l.K) * int64(l.C) * int64(l.R) * int64(l.S)
+		m := Map(Systolic, l, 512)
+		if m.WeightTraffic < w || m.InputTraffic < l.InputElems() || m.OutputTraffic < l.OutputElems() {
+			t.Errorf("%s: systolic traffic below compulsory minimum", l.Name)
+		}
+	}
+}
+
+func TestMorePEsNeverSlowerSystolic(t *testing.T) {
+	f := func(k8, c8, xy8 uint8, pe16 uint16) bool {
+		l := dnn.Layer{
+			Name: "p", Op: dnn.Conv,
+			K: int(k8) + 1, C: int(c8) + 1,
+			R: 3, S: 3,
+			X: int(xy8%64) + 1, Y: int(xy8%64) + 1, Stride: 1,
+		}
+		pes := int(pe16%2048) + 1
+		a := Map(Systolic, l, pes)
+		b := Map(Systolic, l, 4*pes)
+		// Fill/drain grows with the array diagonal, so quadrupling the PEs
+		// may not strictly help tiny layers; it must never double the steps.
+		return b.Steps <= 2*a.Steps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,150 @@
+// Package dnn models the neural-architecture side of NASAIC: network layers
+// with full shape information, the ResNet-9 and U-Net backbone generators the
+// paper searches over (§III-➊, §V-A), and the hyperparameter search spaces
+// used by the controller.
+//
+// A dnn.Network is a plain dependency chain of layers. The accelerator side
+// (internal/maestro, internal/sched) consumes the per-layer dimensions to
+// produce latency/energy/area; the accuracy side (internal/predictor)
+// consumes aggregate capacity statistics (parameters, MACs, depth).
+package dnn
+
+import "fmt"
+
+// Op identifies the operation a layer performs.
+type Op int
+
+// Supported layer operations. Conv, UpConv and FC are "compute" layers that
+// are mapped onto sub-accelerators; MaxPool and GlobalAvgPool are treated as
+// (nearly) free data reorganizations, as in the paper's cost model usage.
+const (
+	Conv Op = iota
+	UpConv
+	FC
+	MaxPool
+	GlobalAvgPool
+)
+
+// String returns the canonical lower-case name of the op.
+func (o Op) String() string {
+	switch o {
+	case Conv:
+		return "conv"
+	case UpConv:
+		return "upconv"
+	case FC:
+		return "fc"
+	case MaxPool:
+		return "maxpool"
+	case GlobalAvgPool:
+		return "gap"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Compute reports whether the op performs MAC work that must be scheduled on
+// a sub-accelerator.
+func (o Op) Compute() bool { return o == Conv || o == UpConv || o == FC }
+
+// Layer is one network layer with complete shape information.
+//
+// Dimension naming follows MAESTRO/Eyeriss convention:
+//
+//	K — output channels, C — input channels,
+//	R×S — kernel height×width, X×Y — input width×height,
+//	Stride — spatial stride (same in both dimensions).
+//
+// Convolutions use "same" padding, so the output map is X/Stride × Y/Stride
+// (ceiling division). UpConv doubles the spatial resolution. FC layers are
+// modeled as 1×1 convolutions over a 1×1 map.
+type Layer struct {
+	Name   string
+	Op     Op
+	K      int // output channels
+	C      int // input channels
+	R      int // kernel height
+	S      int // kernel width
+	X      int // input width
+	Y      int // input height
+	Stride int
+}
+
+// OutX returns the output map width.
+func (l Layer) OutX() int { return outDim(l, l.X) }
+
+// OutY returns the output map height.
+func (l Layer) OutY() int { return outDim(l, l.Y) }
+
+func outDim(l Layer, in int) int {
+	switch l.Op {
+	case UpConv:
+		return in * 2
+	case GlobalAvgPool:
+		return 1
+	case FC:
+		return 1
+	default:
+		if l.Stride <= 0 {
+			return in
+		}
+		return (in + l.Stride - 1) / l.Stride
+	}
+}
+
+// MACs returns the multiply-accumulate count of the layer. Non-compute ops
+// return 0.
+func (l Layer) MACs() int64 {
+	if !l.Op.Compute() {
+		return 0
+	}
+	return int64(l.K) * int64(l.C) * int64(l.R) * int64(l.S) *
+		int64(l.OutX()) * int64(l.OutY())
+}
+
+// Params returns the weight parameter count (bias included).
+func (l Layer) Params() int64 {
+	if !l.Op.Compute() {
+		return 0
+	}
+	return int64(l.K)*int64(l.C)*int64(l.R)*int64(l.S) + int64(l.K)
+}
+
+// InputElems returns the number of input activation elements.
+func (l Layer) InputElems() int64 {
+	return int64(l.C) * int64(l.X) * int64(l.Y)
+}
+
+// OutputElems returns the number of output activation elements.
+func (l Layer) OutputElems() int64 {
+	return int64(l.K) * int64(l.OutX()) * int64(l.OutY())
+}
+
+// Validate checks the layer's dimensions for internal consistency.
+func (l Layer) Validate() error {
+	if l.Name == "" {
+		return fmt.Errorf("dnn: layer has no name")
+	}
+	if l.K <= 0 || l.C <= 0 {
+		return fmt.Errorf("dnn: layer %s: non-positive channels K=%d C=%d", l.Name, l.K, l.C)
+	}
+	if l.R <= 0 || l.S <= 0 {
+		return fmt.Errorf("dnn: layer %s: non-positive kernel %dx%d", l.Name, l.R, l.S)
+	}
+	if l.X <= 0 || l.Y <= 0 {
+		return fmt.Errorf("dnn: layer %s: non-positive map %dx%d", l.Name, l.X, l.Y)
+	}
+	if l.Stride <= 0 {
+		return fmt.Errorf("dnn: layer %s: non-positive stride %d", l.Name, l.Stride)
+	}
+	if l.Op == FC && (l.X != 1 || l.Y != 1) {
+		return fmt.Errorf("dnn: layer %s: FC layer must have 1x1 map, got %dx%d", l.Name, l.X, l.Y)
+	}
+	return nil
+}
+
+// String renders the layer as "name op KxC RxS @XxY /stride".
+func (l Layer) String() string {
+	return fmt.Sprintf("%s %s K%d C%d %dx%d @%dx%d /%d",
+		l.Name, l.Op, l.K, l.C, l.R, l.S, l.X, l.Y, l.Stride)
+}

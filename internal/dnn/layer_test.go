@@ -1,0 +1,119 @@
+package dnn
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLayerOutDims(t *testing.T) {
+	tests := []struct {
+		name   string
+		l      Layer
+		ox, oy int
+	}{
+		{"conv same", Layer{Name: "c", Op: Conv, K: 8, C: 3, R: 3, S: 3, X: 32, Y: 32, Stride: 1}, 32, 32},
+		{"conv stride2", Layer{Name: "c", Op: Conv, K: 8, C: 3, R: 3, S: 3, X: 32, Y: 32, Stride: 2}, 16, 16},
+		{"conv stride2 odd", Layer{Name: "c", Op: Conv, K: 8, C: 3, R: 3, S: 3, X: 33, Y: 33, Stride: 2}, 17, 17},
+		{"pool", Layer{Name: "p", Op: MaxPool, K: 8, C: 8, R: 2, S: 2, X: 32, Y: 32, Stride: 2}, 16, 16},
+		{"upconv", Layer{Name: "u", Op: UpConv, K: 8, C: 16, R: 2, S: 2, X: 16, Y: 16, Stride: 1}, 32, 32},
+		{"gap", Layer{Name: "g", Op: GlobalAvgPool, K: 8, C: 8, R: 1, S: 1, X: 4, Y: 4, Stride: 1}, 1, 1},
+		{"fc", Layer{Name: "f", Op: FC, K: 10, C: 64, R: 1, S: 1, X: 1, Y: 1, Stride: 1}, 1, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.l.OutX(); got != tt.ox {
+				t.Errorf("OutX = %d, want %d", got, tt.ox)
+			}
+			if got := tt.l.OutY(); got != tt.oy {
+				t.Errorf("OutY = %d, want %d", got, tt.oy)
+			}
+		})
+	}
+}
+
+func TestLayerMACsAndParams(t *testing.T) {
+	l := Layer{Name: "c", Op: Conv, K: 64, C: 32, R: 3, S: 3, X: 16, Y: 16, Stride: 1}
+	wantMACs := int64(64 * 32 * 3 * 3 * 16 * 16)
+	if got := l.MACs(); got != wantMACs {
+		t.Errorf("MACs = %d, want %d", got, wantMACs)
+	}
+	wantParams := int64(64*32*3*3 + 64)
+	if got := l.Params(); got != wantParams {
+		t.Errorf("Params = %d, want %d", got, wantParams)
+	}
+	p := Layer{Name: "p", Op: MaxPool, K: 8, C: 8, R: 2, S: 2, X: 16, Y: 16, Stride: 2}
+	if p.MACs() != 0 || p.Params() != 0 {
+		t.Errorf("pool should carry no MACs/params, got %d/%d", p.MACs(), p.Params())
+	}
+}
+
+func TestLayerValidate(t *testing.T) {
+	bad := []Layer{
+		{Op: Conv, K: 8, C: 3, R: 3, S: 3, X: 32, Y: 32, Stride: 1},            // no name
+		{Name: "c", Op: Conv, K: 0, C: 3, R: 3, S: 3, X: 32, Y: 32, Stride: 1}, // K=0
+		{Name: "c", Op: Conv, K: 8, C: 3, R: 0, S: 3, X: 32, Y: 32, Stride: 1}, // R=0
+		{Name: "c", Op: Conv, K: 8, C: 3, R: 3, S: 3, X: 0, Y: 32, Stride: 1},  // X=0
+		{Name: "c", Op: Conv, K: 8, C: 3, R: 3, S: 3, X: 32, Y: 32, Stride: 0}, // stride
+		{Name: "f", Op: FC, K: 10, C: 64, R: 1, S: 1, X: 4, Y: 4, Stride: 1},   // FC map
+	}
+	for i, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error for %+v", i, l)
+		}
+	}
+	good := Layer{Name: "c", Op: Conv, K: 8, C: 3, R: 3, S: 3, X: 32, Y: 32, Stride: 1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestOpStringAndCompute(t *testing.T) {
+	cases := map[Op]struct {
+		name    string
+		compute bool
+	}{
+		Conv:          {"conv", true},
+		UpConv:        {"upconv", true},
+		FC:            {"fc", true},
+		MaxPool:       {"maxpool", false},
+		GlobalAvgPool: {"gap", false},
+	}
+	for op, want := range cases {
+		if op.String() != want.name {
+			t.Errorf("%v String = %q, want %q", int(op), op.String(), want.name)
+		}
+		if op.Compute() != want.compute {
+			t.Errorf("%v Compute = %v, want %v", op, op.Compute(), want.compute)
+		}
+	}
+}
+
+// Property: MACs scale linearly in K for any valid conv layer.
+func TestLayerMACsLinearInK(t *testing.T) {
+	f := func(k8, c8, xy8 uint8) bool {
+		k := int(k8%32) + 1
+		c := int(c8%32) + 1
+		xy := int(xy8%32) + 1
+		l := Layer{Name: "c", Op: Conv, K: k, C: c, R: 3, S: 3, X: xy, Y: xy, Stride: 1}
+		l2 := l
+		l2.K = 2 * k
+		return l2.MACs() == 2*l.MACs()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: output spatial dims never exceed input dims for conv/pool.
+func TestOutDimsNeverGrowForConv(t *testing.T) {
+	f := func(x8, y8, s8 uint8) bool {
+		x := int(x8%64) + 1
+		y := int(y8%64) + 1
+		s := int(s8%3) + 1
+		l := Layer{Name: "c", Op: Conv, K: 4, C: 4, R: 3, S: 3, X: x, Y: y, Stride: s}
+		return l.OutX() <= x && l.OutY() <= y && l.OutX() >= 1 && l.OutY() >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,98 @@
+package dnn
+
+import (
+	"strings"
+	"testing"
+)
+
+func smallResNet(t *testing.T) *Network {
+	t.Helper()
+	n, err := BuildResNet(ResNetConfig{
+		Name: "test", InputX: 32, InputY: 32, InputC: 3, Classes: 10,
+		FN0:    8,
+		Blocks: []ResBlock{{FN: 16, SK: 1}, {FN: 32, SK: 0}, {FN: 64, SK: 2}},
+	})
+	if err != nil {
+		t.Fatalf("BuildResNet: %v", err)
+	}
+	return n
+}
+
+func TestNetworkValidateChain(t *testing.T) {
+	n := smallResNet(t)
+	if err := n.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Break the chain and expect failure.
+	broken := *n
+	broken.Layers = append([]Layer(nil), n.Layers...)
+	broken.Layers[1].C = 999
+	if err := broken.Validate(); err == nil {
+		t.Error("expected chain validation failure after corrupting input channels")
+	}
+}
+
+func TestNetworkAggregates(t *testing.T) {
+	n := smallResNet(t)
+	var wantMACs, wantParams int64
+	depth := 0
+	for _, l := range n.Layers {
+		wantMACs += l.MACs()
+		wantParams += l.Params()
+		if l.Op.Compute() {
+			depth++
+		}
+	}
+	if n.TotalMACs() != wantMACs {
+		t.Errorf("TotalMACs = %d, want %d", n.TotalMACs(), wantMACs)
+	}
+	if n.TotalParams() != wantParams {
+		t.Errorf("TotalParams = %d, want %d", n.TotalParams(), wantParams)
+	}
+	if n.Depth() != depth {
+		t.Errorf("Depth = %d, want %d", n.Depth(), depth)
+	}
+	if n.MaxWidth() != 64 {
+		t.Errorf("MaxWidth = %d, want 64", n.MaxWidth())
+	}
+	// conv0 + (1 block conv+1 res) + (1) + (1+2 res) + fc = 1+2+1+3+1 = 8
+	if got := len(n.ComputeLayers()); got != 8 {
+		t.Errorf("ComputeLayers = %d, want 8", got)
+	}
+}
+
+func TestNetworkSignatureStable(t *testing.T) {
+	a := smallResNet(t)
+	b := smallResNet(t)
+	if a.Signature() != b.Signature() {
+		t.Error("identical configs must produce identical signatures")
+	}
+	c, err := BuildResNet(ResNetConfig{
+		Name: "test", InputX: 32, InputY: 32, InputC: 3, Classes: 10,
+		FN0:    8,
+		Blocks: []ResBlock{{FN: 16, SK: 1}, {FN: 32, SK: 0}, {FN: 128, SK: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Signature() == c.Signature() {
+		t.Error("different configs must produce different signatures")
+	}
+}
+
+func TestNetworkString(t *testing.T) {
+	n := smallResNet(t)
+	s := n.String()
+	for _, want := range []string{"test", "conv0", "fc", "classification"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestEmptyNetworkInvalid(t *testing.T) {
+	n := &Network{Name: "empty"}
+	if err := n.Validate(); err == nil {
+		t.Error("empty network must fail validation")
+	}
+}

@@ -1,0 +1,202 @@
+package dnn
+
+import (
+	"fmt"
+
+	"nasaic/internal/stats"
+)
+
+// Decision is one categorical hyperparameter choice exposed to the
+// controller: a name and the list of integer option values.
+type Decision struct {
+	Name    string
+	Options []int
+}
+
+// Space is a neural-architecture search space: an ordered list of decisions
+// plus a decoder that turns a choice vector (option indices, one per
+// decision) into a concrete Network.
+type Space struct {
+	Name      string
+	Task      Task
+	Decisions []Decision
+	// Decode builds the network for a choice vector. Implementations must be
+	// deterministic. The returned error indicates an out-of-range vector.
+	Decode func(choices []int) (*Network, error)
+}
+
+// NumChoices returns the number of decisions.
+func (s *Space) NumChoices() int { return len(s.Decisions) }
+
+// Size returns the total number of points in the space.
+func (s *Space) Size() int64 {
+	n := int64(1)
+	for _, d := range s.Decisions {
+		n *= int64(len(d.Options))
+	}
+	return n
+}
+
+// Validate checks a choice vector against the decision list.
+func (s *Space) Validate(choices []int) error {
+	if len(choices) != len(s.Decisions) {
+		return fmt.Errorf("dnn: space %s: got %d choices, want %d", s.Name, len(choices), len(s.Decisions))
+	}
+	for i, c := range choices {
+		if c < 0 || c >= len(s.Decisions[i].Options) {
+			return fmt.Errorf("dnn: space %s: decision %s index %d out of range [0,%d)",
+				s.Name, s.Decisions[i].Name, c, len(s.Decisions[i].Options))
+		}
+	}
+	return nil
+}
+
+// Values maps a choice vector to the selected option values.
+func (s *Space) Values(choices []int) []int {
+	out := make([]int, len(choices))
+	for i, c := range choices {
+		out[i] = s.Decisions[i].Options[c]
+	}
+	return out
+}
+
+// ValuesString renders the selected option values in the paper's tuple
+// notation, e.g. "<32, 128, 2, 256, 2, 256, 2>".
+func (s *Space) ValuesString(choices []int) string {
+	vals := s.Values(choices)
+	out := "<"
+	for i, v := range vals {
+		if i > 0 {
+			out += ", "
+		}
+		out += fmt.Sprintf("%d", v)
+	}
+	return out + ">"
+}
+
+// Smallest returns the choice vector selecting the first (smallest) option of
+// every decision; by construction of the spaces below this is the smallest
+// architecture, used for the paper's accuracy lower bounds (Fig. 6).
+func (s *Space) Smallest() []int { return make([]int, len(s.Decisions)) }
+
+// Largest returns the choice vector selecting the last option of every
+// decision.
+func (s *Space) Largest() []int {
+	out := make([]int, len(s.Decisions))
+	for i, d := range s.Decisions {
+		out[i] = len(d.Options) - 1
+	}
+	return out
+}
+
+// Random returns a uniformly random choice vector.
+func (s *Space) Random(rng *stats.RNG) []int {
+	out := make([]int, len(s.Decisions))
+	for i, d := range s.Decisions {
+		out[i] = rng.Intn(len(d.Options))
+	}
+	return out
+}
+
+// MustDecode decodes a vector that is known to be valid, panicking otherwise.
+// Intended for tests and examples.
+func (s *Space) MustDecode(choices []int) *Network {
+	n, err := s.Decode(choices)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// CIFARResNetSpace returns the paper's CIFAR-10 classification space: a
+// ResNet-9 backbone with 3 residual blocks, per-block filter counts and skip
+// counts (Fig. 1, Table II). The filter option list covers the values
+// observed in the paper's reported solutions (8–256).
+func CIFARResNetSpace() *Space {
+	fn := []int{8, 16, 32, 64, 128, 256}
+	sk := []int{0, 1, 2}
+	s := &Space{
+		Name: "cifar10-resnet9",
+		Task: Classification,
+		Decisions: []Decision{
+			{Name: "FN0", Options: fn},
+			{Name: "FN1", Options: fn}, {Name: "SK1", Options: sk},
+			{Name: "FN2", Options: fn}, {Name: "SK2", Options: sk},
+			{Name: "FN3", Options: fn}, {Name: "SK3", Options: sk},
+		},
+	}
+	s.Decode = func(choices []int) (*Network, error) {
+		if err := s.Validate(choices); err != nil {
+			return nil, err
+		}
+		v := s.Values(choices)
+		return BuildResNet(ResNetConfig{
+			Name: "resnet9-cifar10", InputX: 32, InputY: 32, InputC: 3, Classes: 10,
+			FN0: v[0],
+			Blocks: []ResBlock{
+				{FN: v[1], SK: v[2]},
+				{FN: v[3], SK: v[4]},
+				{FN: v[5], SK: v[6]},
+			},
+		})
+	}
+	return s
+}
+
+// STLResNetSpace returns the paper's STL-10 classification space: because
+// STL-10 images are 96x96, the backbone is deepened to 5 residual blocks with
+// up to 3 convolutions per block and up to 512 filters (§V-A).
+func STLResNetSpace() *Space {
+	fn := []int{32, 64, 128, 256, 512}
+	sk := []int{0, 1, 2, 3}
+	dec := []Decision{{Name: "FN0", Options: []int{16, 32, 64}}}
+	for i := 1; i <= 5; i++ {
+		dec = append(dec,
+			Decision{Name: fmt.Sprintf("FN%d", i), Options: fn},
+			Decision{Name: fmt.Sprintf("SK%d", i), Options: sk},
+		)
+	}
+	s := &Space{Name: "stl10-resnet", Task: Classification, Decisions: dec}
+	s.Decode = func(choices []int) (*Network, error) {
+		if err := s.Validate(choices); err != nil {
+			return nil, err
+		}
+		v := s.Values(choices)
+		blocks := make([]ResBlock, 5)
+		for i := 0; i < 5; i++ {
+			blocks[i] = ResBlock{FN: v[1+2*i], SK: v[2+2*i]}
+		}
+		return BuildResNet(ResNetConfig{
+			Name: "resnet-stl10", InputX: 96, InputY: 96, InputC: 3, Classes: 10,
+			FN0: v[0], Blocks: blocks,
+		})
+	}
+	return s
+}
+
+// NucleiUNetSpace returns the paper's nuclei-segmentation space: a U-Net with
+// height 1–5 and per-level filter counts from {4,8,16}·2^(i-1) (§V-A, Fig. 3).
+// Level decisions beyond the chosen height are ignored by the decoder.
+func NucleiUNetSpace() *Space {
+	dec := []Decision{{Name: "Height", Options: []int{1, 2, 3, 4, 5}}}
+	for i := 1; i <= 5; i++ {
+		scale := 1 << (i - 1)
+		dec = append(dec, Decision{
+			Name:    fmt.Sprintf("FN%d", i),
+			Options: []int{4 * scale, 8 * scale, 16 * scale},
+		})
+	}
+	s := &Space{Name: "nuclei-unet", Task: Segmentation, Decisions: dec}
+	s.Decode = func(choices []int) (*Network, error) {
+		if err := s.Validate(choices); err != nil {
+			return nil, err
+		}
+		v := s.Values(choices)
+		h := v[0]
+		return BuildUNet(UNetConfig{
+			Name: "unet-nuclei", InputX: 128, InputY: 128, InputC: 3, OutC: 1,
+			FN: v[1 : 1+h],
+		})
+	}
+	return s
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"nasaic/internal/core"
+	"nasaic/internal/export"
+	"nasaic/internal/search"
+	"nasaic/internal/workload"
+)
+
+// Table1 reproduces Table I: on W1 and W2, compare successive NAS→ASIC,
+// ASIC→HW-NAS, and NASAIC under the unified design specs.
+func Table1(b Budget) ([]ApproachResult, error) {
+	var out []ApproachResult
+	for _, w := range []workload.Workload{workload.W1(), workload.W2()} {
+		rows, err := table1Workload(w, b)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table 1 on %s: %w", w.Name, err)
+		}
+		out = append(out, rows...)
+	}
+	return out, nil
+}
+
+func table1Workload(w workload.Workload, b Budget) ([]ApproachResult, error) {
+	cfg := b.config()
+
+	nas, err := search.NASToASIC(w, cfg, b.NASSamples, b.HWSamples)
+	if err != nil {
+		return nil, err
+	}
+	hwnas, err := search.ASICToHWNAS(w, cfg, b.MCRuns, b.NASSamples*3)
+	if err != nil {
+		return nil, err
+	}
+	x, err := core.New(w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := x.Run()
+	if res.Best == nil {
+		return nil, fmt.Errorf("NASAIC found no feasible solution in %d episodes", cfg.Episodes)
+	}
+
+	fromCandidate := func(name string, c search.Candidate) ApproachResult {
+		ar := ApproachResult{
+			Workload: w.Name, Approach: name, Hardware: c.Design.String(),
+			Latency: c.Latency, EnergyNJ: c.EnergyNJ, AreaUM2: c.AreaUM2, Feasible: c.Feasible,
+		}
+		for i, t := range w.Tasks {
+			ar.Rows = append(ar.Rows, DatasetRow{
+				Dataset:  t.Dataset.String(),
+				Metric:   t.Dataset.Metric(),
+				Arch:     archString(t.Space, c.Choices[i]),
+				Accuracy: c.Accuracies[i],
+			})
+		}
+		return ar
+	}
+
+	nasaicRow := ApproachResult{
+		Workload: w.Name, Approach: "NASAIC", Hardware: res.Best.Design.String(),
+		Latency: res.Best.Latency, EnergyNJ: res.Best.EnergyNJ,
+		AreaUM2: res.Best.AreaUM2, Feasible: res.Best.Feasible,
+	}
+	for i, t := range w.Tasks {
+		nasaicRow.Rows = append(nasaicRow.Rows, DatasetRow{
+			Dataset:  t.Dataset.String(),
+			Metric:   t.Dataset.Metric(),
+			Arch:     archString(t.Space, res.Best.ArchChoices[i]),
+			Accuracy: res.Best.Accuracies[i],
+		})
+	}
+
+	return []ApproachResult{
+		fromCandidate("NAS->ASIC", nas),
+		fromCandidate("ASIC->HW-NAS", hwnas),
+		nasaicRow,
+	}, nil
+}
+
+// RenderTable1 writes the Table I comparison in the paper's layout.
+func RenderTable1(w io.Writer, rows []ApproachResult) {
+	header := []string{"Work.", "Approach", "Hardware", "Dataset", "Accuracy", "L /cycles", "E /nJ", "A /um2", "Specs"}
+	var cells [][]string
+	for _, r := range rows {
+		for i, d := range r.Rows {
+			line := []string{"", "", "", d.Dataset, export.Pct(d.Accuracy), "", "", "", ""}
+			if i == 0 {
+				line[0] = r.Workload
+				line[1] = r.Approach
+				line[2] = r.Hardware
+				line[5] = export.Sci(float64(r.Latency))
+				line[6] = export.Sci(r.EnergyNJ)
+				line[7] = export.Sci(r.AreaUM2)
+				line[8] = export.Mark(r.Feasible)
+			}
+			cells = append(cells, line)
+		}
+	}
+	export.Table(w, header, cells)
+}
+
+// Table1CSV returns header and rows for machine-readable export.
+func Table1CSV(rows []ApproachResult) ([]string, [][]string) {
+	header := []string{"workload", "approach", "hardware", "dataset", "arch", "accuracy", "latency_cycles", "energy_nj", "area_um2", "feasible"}
+	var out [][]string
+	for _, r := range rows {
+		for _, d := range r.Rows {
+			out = append(out, []string{
+				r.Workload, r.Approach, r.Hardware, d.Dataset, d.Arch,
+				fmt.Sprintf("%.4f", d.Accuracy),
+				fmt.Sprintf("%d", r.Latency),
+				fmt.Sprintf("%.6g", r.EnergyNJ),
+				fmt.Sprintf("%.6g", r.AreaUM2),
+				fmt.Sprintf("%v", r.Feasible),
+			})
+		}
+	}
+	return header, out
+}

@@ -1,0 +1,133 @@
+// Package export renders experiment results: CSV series for plotting, ASCII
+// scatter plots for terminal inspection of the Fig. 1 / Fig. 6 design-space
+// views, and aligned text tables for the Table I / Table II comparisons.
+package export
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// CSV writes a header and rows of float-compatible cells to w.
+func CSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if len(r) != len(header) {
+			return fmt.Errorf("export: row has %d cells, header has %d", len(r), len(header))
+		}
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Point is a labeled point in the (latency, energy, area) metric space.
+type Point struct {
+	X, Y   float64
+	Series string // single-rune marker, e.g. "o", "*", "#"
+}
+
+// Scatter renders an ASCII scatter plot of points with axis ranges padded to
+// include the optional marks (e.g. the spec corner). Later points overwrite
+// earlier ones on collisions, so draw emphasis series (specs, best) last.
+func Scatter(w io.Writer, title, xlabel, ylabel string, width, height int, pts []Point) {
+	if width < 16 {
+		width = 16
+	}
+	if height < 8 {
+		height = 8
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, p := range pts {
+		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+	}
+	if len(pts) == 0 || minX == maxX {
+		maxX = minX + 1
+	}
+	if len(pts) == 0 || minY == maxY {
+		maxY = minY + 1
+	}
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", width))
+	}
+	for _, p := range pts {
+		xi := int(float64(width-1) * (p.X - minX) / (maxX - minX))
+		yi := int(float64(height-1) * (p.Y - minY) / (maxY - minY))
+		row := height - 1 - yi
+		marker := 'o'
+		if p.Series != "" {
+			marker = []rune(p.Series)[0]
+		}
+		grid[row][xi] = marker
+	}
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%s (min %.3g, max %.3g) vs %s (min %.3g, max %.3g)\n",
+		xlabel, minX, maxX, ylabel, minY, maxY)
+	for _, row := range grid {
+		fmt.Fprintf(w, "|%s|\n", string(row))
+	}
+	fmt.Fprintf(w, "+%s+\n", strings.Repeat("-", width))
+}
+
+// Table renders an aligned text table.
+func Table(w io.Writer, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintf(w, "| %s |\n", strings.Join(parts, " | "))
+	}
+	line(header)
+	seps := make([]string, len(header))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	line(seps)
+	for _, r := range rows {
+		line(r)
+	}
+}
+
+// Sci formats a float in the paper's compact scientific style (e.g. 9.45e5).
+func Sci(v float64) string {
+	if v == 0 {
+		return "0"
+	}
+	exp := int(math.Floor(math.Log10(math.Abs(v))))
+	mant := v / math.Pow(10, float64(exp))
+	return fmt.Sprintf("%.2fe%d", mant, exp)
+}
+
+// Pct formats a quality in [0,1] as a percentage with two decimals.
+func Pct(v float64) string { return fmt.Sprintf("%.2f%%", 100*v) }
+
+// Mark renders the paper's spec-satisfaction mark.
+func Mark(ok bool) string {
+	if ok {
+		return "OK"
+	}
+	return "VIOLATED"
+}

@@ -1,0 +1,105 @@
+package export
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := CSV(&buf, []string{"a", "b"}, [][]string{{"1", "2"}, {"3", "4"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,2\n3,4\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestCSVRowMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := CSV(&buf, []string{"a", "b"}, [][]string{{"1"}}); err == nil {
+		t.Error("row/header mismatch accepted")
+	}
+}
+
+func TestScatter(t *testing.T) {
+	var buf bytes.Buffer
+	Scatter(&buf, "title", "x", "y", 40, 10, []Point{
+		{X: 0, Y: 0, Series: "o"},
+		{X: 1, Y: 1, Series: "*"},
+		{X: 0.5, Y: 0.5, Series: "#"},
+	})
+	out := buf.String()
+	for _, want := range []string{"title", "o", "*", "#", "min 0", "max 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scatter missing %q:\n%s", want, out)
+		}
+	}
+	// All grid rows must have the same width.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	gridWidth := 0
+	for _, l := range lines {
+		if strings.HasPrefix(l, "|") {
+			if gridWidth == 0 {
+				gridWidth = len(l)
+			} else if len(l) != gridWidth {
+				t.Errorf("ragged scatter row: %q", l)
+			}
+		}
+	}
+}
+
+func TestScatterDegenerate(t *testing.T) {
+	var buf bytes.Buffer
+	// Single point and zero points must not panic or divide by zero.
+	Scatter(&buf, "one", "x", "y", 20, 8, []Point{{X: 5, Y: 5}})
+	Scatter(&buf, "none", "x", "y", 20, 8, nil)
+	// Tiny dimensions are clamped.
+	Scatter(&buf, "tiny", "x", "y", 1, 1, []Point{{X: 0, Y: 0}})
+	if buf.Len() == 0 {
+		t.Error("no output")
+	}
+}
+
+func TestTable(t *testing.T) {
+	var buf bytes.Buffer
+	Table(&buf, []string{"name", "v"}, [][]string{{"longer-name", "1"}, {"x", "22"}})
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines, got %d", len(lines))
+	}
+	w := len(lines[0])
+	for _, l := range lines {
+		if len(l) != w {
+			t.Errorf("unaligned table line %q", l)
+		}
+	}
+}
+
+func TestSci(t *testing.T) {
+	cases := map[float64]string{
+		945000:  "9.45e5",
+		0:       "0",
+		1.43e9:  "1.43e9",
+		-2500:   "-2.50e3",
+		0.00321: "3.21e-3",
+	}
+	for v, want := range cases {
+		if got := Sci(v); got != want {
+			t.Errorf("Sci(%g) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestPctAndMark(t *testing.T) {
+	if Pct(0.9417) != "94.17%" {
+		t.Errorf("Pct = %q", Pct(0.9417))
+	}
+	if Mark(true) != "OK" || Mark(false) != "VIOLATED" {
+		t.Error("Mark wrong")
+	}
+}

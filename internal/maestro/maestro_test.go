@@ -1,0 +1,196 @@
+package maestro
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nasaic/internal/dataflow"
+	"nasaic/internal/dnn"
+)
+
+func testLayer() dnn.Layer {
+	return dnn.Layer{Name: "c", Op: dnn.Conv, K: 64, C: 64, R: 3, S: 3, X: 32, Y: 32, Stride: 1}
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("DefaultConfig invalid: %v", err)
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	mut := []func(*Config){
+		func(c *Config) { c.ClockGHz = 0 },
+		func(c *Config) { c.EnergyMAC = -1 },
+		func(c *Config) { c.EnergyDRAM = 0 },
+		func(c *Config) { c.EnergyScale = 0 },
+		func(c *Config) { c.AreaPE = 0 },
+		func(c *Config) { c.AreaFixed = -1 },
+	}
+	for i, m := range mut {
+		c := DefaultConfig()
+		m(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d not caught", i)
+		}
+	}
+}
+
+func TestLayerCostPositive(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, s := range dataflow.AllStyles {
+		lc := cfg.LayerCost(testLayer(), s, 512, 32)
+		if lc.Cycles <= 0 || lc.EnergyNJ <= 0 || lc.BufferBytes <= 0 {
+			t.Errorf("%s: non-positive cost %+v", s, lc)
+		}
+		if lc.Utilization <= 0 || lc.Utilization > 1 {
+			t.Errorf("%s: utilization %f out of range", s, lc.Utilization)
+		}
+	}
+}
+
+// Latency must be bandwidth-bound when the NoC is starved: shrinking
+// bandwidth far enough must increase cycles.
+func TestBandwidthBound(t *testing.T) {
+	cfg := DefaultConfig()
+	fast := cfg.LayerCost(testLayer(), dataflow.NVDLA, 1024, 64)
+	slow := cfg.LayerCost(testLayer(), dataflow.NVDLA, 1024, 1)
+	if slow.Cycles <= fast.Cycles {
+		t.Errorf("1 GB/s (%d cycles) should be slower than 64 GB/s (%d cycles)",
+			slow.Cycles, fast.Cycles)
+	}
+	// Energy is bandwidth-independent in this model (same data movement).
+	if slow.EnergyNJ != fast.EnergyNJ {
+		t.Errorf("energy should not depend on bandwidth: %f vs %f", slow.EnergyNJ, fast.EnergyNJ)
+	}
+}
+
+// Property: more PEs never increase a layer's cycle count (at fixed bw),
+// for compute-bound shapes.
+func TestLayerCostMonotonicInPEs(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(pe16 uint16, styleIdx uint8) bool {
+		pes := int(pe16%2000) + 16
+		s := dataflow.AllStyles[int(styleIdx)%3]
+		a := cfg.LayerCost(testLayer(), s, pes, 64)
+		b := cfg.LayerCost(testLayer(), s, 2*pes, 64)
+		// Allow the sqrt(PE) fill-time term a tiny slack.
+		return b.Cycles <= a.Cycles+128
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNetworkCostAggregates(t *testing.T) {
+	cfg := DefaultConfig()
+	n, err := dnn.BuildResNet(dnn.ResNetConfig{
+		Name: "r", InputX: 32, InputY: 32, InputC: 3, Classes: 10,
+		FN0: 16, Blocks: []dnn.ResBlock{{FN: 32, SK: 1}, {FN: 64, SK: 1}, {FN: 64, SK: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := cfg.NetworkCost(n, dataflow.NVDLA, 512, 32)
+	var cycles int64
+	var energy float64
+	var maxBuf int64
+	for _, l := range n.ComputeLayers() {
+		lc := cfg.LayerCost(l, dataflow.NVDLA, 512, 32)
+		cycles += lc.Cycles
+		energy += lc.EnergyNJ
+		if lc.BufferBytes > maxBuf {
+			maxBuf = lc.BufferBytes
+		}
+	}
+	if nc.Cycles != cycles {
+		t.Errorf("Cycles = %d, want %d", nc.Cycles, cycles)
+	}
+	if nc.EnergyNJ != energy {
+		t.Errorf("EnergyNJ = %f, want %f", nc.EnergyNJ, energy)
+	}
+	if nc.BufferBytes != maxBuf {
+		t.Errorf("BufferBytes = %d, want %d (max over layers)", nc.BufferBytes, maxBuf)
+	}
+}
+
+func TestSubAccelArea(t *testing.T) {
+	cfg := DefaultConfig()
+	if got := cfg.SubAccelArea(0, 64, 1<<20); got != 0 {
+		t.Errorf("zero-PE sub-accelerator should occupy no area, got %f", got)
+	}
+	a1 := cfg.SubAccelArea(1024, 32, 1<<16)
+	a2 := cfg.SubAccelArea(2048, 32, 1<<16)
+	if a2 <= a1 {
+		t.Error("area must grow with PEs")
+	}
+	a3 := cfg.SubAccelArea(1024, 64, 1<<16)
+	if a3 <= a1 {
+		t.Error("area must grow with bandwidth")
+	}
+	a4 := cfg.SubAccelArea(1024, 32, 1<<20)
+	if a4 <= a1 {
+		t.Error("area must grow with buffer demand")
+	}
+}
+
+// Magnitude sanity: a full 4096-PE design should land in the paper's area
+// range (a few 1e9 µm²), and a mid-size ResNet layer's latency should be in
+// the 1e3–1e6 cycle range.
+func TestCalibratedMagnitudes(t *testing.T) {
+	cfg := DefaultConfig()
+	area := cfg.SubAccelArea(2048, 32, 512<<10) + cfg.SubAccelArea(2048, 32, 512<<10)
+	if area < 1e9 || area > 1e10 {
+		t.Errorf("4096-PE two-sub-accelerator area %.3g outside paper range [1e9,1e10] µm²", area)
+	}
+	lc := cfg.LayerCost(testLayer(), dataflow.NVDLA, 1024, 32)
+	if lc.Cycles < 1e3 || lc.Cycles > 1e6 {
+		t.Errorf("layer latency %d cycles outside plausible range", lc.Cycles)
+	}
+}
+
+func TestLayerCostPanicsOnBadBandwidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for bw=0")
+		}
+	}()
+	DefaultConfig().LayerCost(testLayer(), dataflow.NVDLA, 64, 0)
+}
+
+func TestEnergyBreakdownSumsToLayerCost(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, s := range dataflow.AllStyles {
+		for _, pes := range []int{64, 512, 2048} {
+			lc := cfg.LayerCost(testLayer(), s, pes, 32)
+			bd := cfg.EnergyBreakdown(testLayer(), s, pes, 32)
+			if diff := bd.Total() - lc.EnergyNJ; diff > 1e-6 || diff < -1e-6 {
+				t.Errorf("%s pes=%d: breakdown total %f != layer energy %f", s, pes, bd.Total(), lc.EnergyNJ)
+			}
+			for name, v := range map[string]float64{
+				"mac": bd.MACNJ, "rf": bd.RFNJ, "noc": bd.NoCNJ, "gb": bd.GBNJ, "dram": bd.DRAMNJ,
+			} {
+				if v <= 0 {
+					t.Errorf("%s pes=%d: %s energy component non-positive", s, pes, name)
+				}
+			}
+		}
+	}
+}
+
+// The hierarchy ordering that makes dataflow choice matter: for a reuse-rich
+// conv layer, DRAM energy dominates RF energy per access but not in total
+// (reuse amortizes it), while removing reuse (tiny PEs, re-streaming) shifts
+// energy toward the buffer levels.
+func TestEnergyBreakdownReuseShift(t *testing.T) {
+	cfg := DefaultConfig()
+	l := testLayer()
+	rich := cfg.EnergyBreakdown(l, dataflow.NVDLA, 2048, 32)
+	poor := cfg.EnergyBreakdown(l, dataflow.NVDLA, 16, 32)
+	richRatio := (rich.NoCNJ + rich.GBNJ) / rich.Total()
+	poorRatio := (poor.NoCNJ + poor.GBNJ) / poor.Total()
+	if poorRatio <= richRatio {
+		t.Errorf("reuse-poor mapping should spend a larger energy fraction on NoC+GB: %.3f vs %.3f",
+			poorRatio, richRatio)
+	}
+}

@@ -1,0 +1,197 @@
+package nn
+
+import "math"
+
+// LSTM is a single-layer LSTM cell. Gate layout within the stacked 4H
+// dimension is [input; forget; cell candidate; output].
+type LSTM struct {
+	InputSize, HiddenSize int
+	Wx                    *Param // 4H × I
+	Wh                    *Param // 4H × H
+	B                     *Param // 4H × 1
+}
+
+// NewLSTM returns an LSTM with Xavier-initialized weights and a forget-gate
+// bias of 1 (the standard trick to keep memory open early in training).
+func NewLSTM(inputSize, hiddenSize int, init func(*Param)) *LSTM {
+	l := &LSTM{
+		InputSize:  inputSize,
+		HiddenSize: hiddenSize,
+		Wx:         NewParam("lstm.Wx", 4*hiddenSize, inputSize),
+		Wh:         NewParam("lstm.Wh", 4*hiddenSize, hiddenSize),
+		B:          NewParam("lstm.B", 4*hiddenSize, 1),
+	}
+	init(l.Wx)
+	init(l.Wh)
+	for i := hiddenSize; i < 2*hiddenSize; i++ {
+		l.B.Val.W[i] = 1
+	}
+	return l
+}
+
+// Params returns the trainable parameters.
+func (l *LSTM) Params() []*Param { return []*Param{l.Wx, l.Wh, l.B} }
+
+// LSTMState is the recurrent state (h, c).
+type LSTMState struct {
+	H, C []float64
+}
+
+// ZeroState returns an all-zero initial state.
+func (l *LSTM) ZeroState() LSTMState {
+	return LSTMState{H: make([]float64, l.HiddenSize), C: make([]float64, l.HiddenSize)}
+}
+
+// LSTMCache stores the intermediates of one forward step for backprop.
+type LSTMCache struct {
+	X          []float64
+	HPrev      []float64
+	CPrev      []float64
+	I, F, G, O []float64 // post-activation gates
+	C, H       []float64
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// Forward runs one time step: (x, prev) → (next state, cache).
+func (l *LSTM) Forward(x []float64, prev LSTMState) (LSTMState, *LSTMCache) {
+	H := l.HiddenSize
+	z := l.Wx.Val.MulVec(x)
+	AccumVec(z, l.Wh.Val.MulVec(prev.H))
+	for i := range z {
+		z[i] += l.B.Val.W[i]
+	}
+
+	cache := &LSTMCache{
+		X:     append([]float64(nil), x...),
+		HPrev: append([]float64(nil), prev.H...),
+		CPrev: append([]float64(nil), prev.C...),
+		I:     make([]float64, H), F: make([]float64, H),
+		G: make([]float64, H), O: make([]float64, H),
+		C: make([]float64, H), H: make([]float64, H),
+	}
+	for i := 0; i < H; i++ {
+		cache.I[i] = sigmoid(z[i])
+		cache.F[i] = sigmoid(z[H+i])
+		cache.G[i] = math.Tanh(z[2*H+i])
+		cache.O[i] = sigmoid(z[3*H+i])
+		cache.C[i] = cache.F[i]*prev.C[i] + cache.I[i]*cache.G[i]
+		cache.H[i] = cache.O[i] * math.Tanh(cache.C[i])
+	}
+	return LSTMState{H: cache.H, C: cache.C}, cache
+}
+
+// Backward backpropagates one time step. dH and dC are the gradients flowing
+// into this step's output state (dC may be nil). It accumulates parameter
+// gradients and returns (dX, gradient w.r.t. the previous state).
+func (l *LSTM) Backward(dH, dC []float64, cache *LSTMCache) (dX []float64, dPrev LSTMState) {
+	H := l.HiddenSize
+	dz := make([]float64, 4*H)
+	dCPrev := make([]float64, H)
+
+	for i := 0; i < H; i++ {
+		tc := math.Tanh(cache.C[i])
+		dOut := dH[i]
+		dCt := dOut * cache.O[i] * (1 - tc*tc)
+		if dC != nil {
+			dCt += dC[i]
+		}
+		dI := dCt * cache.G[i]
+		dF := dCt * cache.CPrev[i]
+		dG := dCt * cache.I[i]
+		dO := dOut * tc
+		dCPrev[i] = dCt * cache.F[i]
+
+		dz[i] = dI * cache.I[i] * (1 - cache.I[i])
+		dz[H+i] = dF * cache.F[i] * (1 - cache.F[i])
+		dz[2*H+i] = dG * (1 - cache.G[i]*cache.G[i])
+		dz[3*H+i] = dO * cache.O[i] * (1 - cache.O[i])
+	}
+
+	l.Wx.Grad.AddOuter(dz, cache.X)
+	l.Wh.Grad.AddOuter(dz, cache.HPrev)
+	for i := range dz {
+		l.B.Grad.W[i] += dz[i]
+	}
+
+	dX = l.Wx.Val.MulTVec(dz)
+	dHPrev := l.Wh.Val.MulTVec(dz)
+	return dX, LSTMState{H: dHPrev, C: dCPrev}
+}
+
+// Linear is a fully-connected layer y = W·x + b.
+type Linear struct {
+	W *Param // out × in
+	B *Param // out × 1
+}
+
+// NewLinear returns an initialized linear layer.
+func NewLinear(name string, in, out int, init func(*Param)) *Linear {
+	l := &Linear{
+		W: NewParam(name+".W", out, in),
+		B: NewParam(name+".B", out, 1),
+	}
+	init(l.W)
+	return l
+}
+
+// Params returns the trainable parameters.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
+
+// Forward computes y = W·x + b.
+func (l *Linear) Forward(x []float64) []float64 {
+	y := l.W.Val.MulVec(x)
+	for i := range y {
+		y[i] += l.B.Val.W[i]
+	}
+	return y
+}
+
+// Backward accumulates parameter gradients for dY at input x and returns dX.
+func (l *Linear) Backward(dY, x []float64) []float64 {
+	l.W.Grad.AddOuter(dY, x)
+	for i := range dY {
+		l.B.Grad.W[i] += dY[i]
+	}
+	return l.W.Val.MulTVec(dY)
+}
+
+// Softmax returns the softmax of logits (numerically stabilized).
+func Softmax(logits []float64) []float64 {
+	max := math.Inf(-1)
+	for _, v := range logits {
+		if v > max {
+			max = v
+		}
+	}
+	out := make([]float64, len(logits))
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(v - max)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// LogPGrad returns d(-log p[action])/d(logits) = softmax(logits) - onehot,
+// the REINFORCE per-step logit gradient (before the advantage scaling).
+func LogPGrad(logits []float64, action int) []float64 {
+	g := Softmax(logits)
+	g[action] -= 1
+	return g
+}
+
+// Entropy returns the Shannon entropy of a probability vector in nats.
+func Entropy(p []float64) float64 {
+	var h float64
+	for _, v := range p {
+		if v > 0 {
+			h -= v * math.Log(v)
+		}
+	}
+	return h
+}

@@ -1,0 +1,153 @@
+// Package nn is a minimal, dependency-free neural-network library built for
+// the NASAIC controller (§IV-①): dense matrices, an LSTM cell with full
+// backpropagation-through-time support, linear output heads, softmax
+// sampling, and an RMSProp optimizer matching the paper's training setup.
+// Batch size is one sequence at a time (the controller predicts one sample
+// per episode), so all operations are matrix-vector; gradients are
+// accumulated across a batch of episodes before each optimizer step, as in
+// Eq. (1).
+package nn
+
+import "fmt"
+
+// Mat is a dense row-major matrix.
+type Mat struct {
+	R, C int
+	W    []float64
+}
+
+// NewMat returns a zero R×C matrix.
+func NewMat(r, c int) *Mat {
+	if r <= 0 || c <= 0 {
+		panic(fmt.Sprintf("nn: invalid matrix shape %dx%d", r, c))
+	}
+	return &Mat{R: r, C: c, W: make([]float64, r*c)}
+}
+
+// At returns element (i, j).
+func (m *Mat) At(i, j int) float64 { return m.W[i*m.C+j] }
+
+// Set assigns element (i, j).
+func (m *Mat) Set(i, j int, v float64) { m.W[i*m.C+j] = v }
+
+// Zero clears all elements.
+func (m *Mat) Zero() {
+	for i := range m.W {
+		m.W[i] = 0
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Mat) Clone() *Mat {
+	out := NewMat(m.R, m.C)
+	copy(out.W, m.W)
+	return out
+}
+
+// MulVec computes y = M·x, allocating y.
+func (m *Mat) MulVec(x []float64) []float64 {
+	if len(x) != m.C {
+		panic(fmt.Sprintf("nn: MulVec shape mismatch %dx%d · %d", m.R, m.C, len(x)))
+	}
+	y := make([]float64, m.R)
+	for i := 0; i < m.R; i++ {
+		row := m.W[i*m.C : (i+1)*m.C]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// MulTVec computes x = Mᵀ·y, allocating x.
+func (m *Mat) MulTVec(y []float64) []float64 {
+	if len(y) != m.R {
+		panic(fmt.Sprintf("nn: MulTVec shape mismatch %dx%d ᵀ· %d", m.R, m.C, len(y)))
+	}
+	x := make([]float64, m.C)
+	for i := 0; i < m.R; i++ {
+		yi := y[i]
+		if yi == 0 {
+			continue
+		}
+		row := m.W[i*m.C : (i+1)*m.C]
+		for j, v := range row {
+			x[j] += v * yi
+		}
+	}
+	return x
+}
+
+// AddOuter accumulates M += y·xᵀ.
+func (m *Mat) AddOuter(y, x []float64) {
+	if len(y) != m.R || len(x) != m.C {
+		panic(fmt.Sprintf("nn: AddOuter shape mismatch %dx%d += %d⊗%d", m.R, m.C, len(y), len(x)))
+	}
+	for i := 0; i < m.R; i++ {
+		yi := y[i]
+		if yi == 0 {
+			continue
+		}
+		row := m.W[i*m.C : (i+1)*m.C]
+		for j := range row {
+			row[j] += yi * x[j]
+		}
+	}
+}
+
+// Col returns a copy of column j.
+func (m *Mat) Col(j int) []float64 {
+	if j < 0 || j >= m.C {
+		panic(fmt.Sprintf("nn: column %d out of range [0,%d)", j, m.C))
+	}
+	out := make([]float64, m.R)
+	for i := 0; i < m.R; i++ {
+		out[i] = m.At(i, j)
+	}
+	return out
+}
+
+// AddCol accumulates column j += v.
+func (m *Mat) AddCol(j int, v []float64) {
+	if len(v) != m.R {
+		panic("nn: AddCol length mismatch")
+	}
+	for i := 0; i < m.R; i++ {
+		m.W[i*m.C+j] += v[i]
+	}
+}
+
+// Vector helpers (allocate-free where a destination is passed).
+
+// AddVec computes a + b, allocating.
+func AddVec(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic("nn: AddVec length mismatch")
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// AccumVec accumulates dst += src.
+func AccumVec(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("nn: AccumVec length mismatch")
+	}
+	for i := range src {
+		dst[i] += src[i]
+	}
+}
+
+// ScaleVec computes s·a, allocating.
+func ScaleVec(a []float64, s float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] * s
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"nasaic/internal/stats"
+)
+
+// Param is a trainable tensor paired with its gradient accumulator.
+type Param struct {
+	Name string
+	Val  *Mat
+	Grad *Mat
+}
+
+// NewParam returns a zero-initialized parameter.
+func NewParam(name string, r, c int) *Param {
+	return &Param{Name: name, Val: NewMat(r, c), Grad: NewMat(r, c)}
+}
+
+// InitXavier fills the parameter with Xavier/Glorot-uniform values.
+func (p *Param) InitXavier(rng *stats.RNG) {
+	limit := math.Sqrt(6.0 / float64(p.Val.R+p.Val.C))
+	for i := range p.Val.W {
+		p.Val.W[i] = (2*rng.Float64() - 1) * limit
+	}
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// GradNorm returns the L2 norm of the gradient.
+func (p *Param) GradNorm() float64 {
+	var s float64
+	for _, g := range p.Grad.W {
+		s += g * g
+	}
+	return math.Sqrt(s)
+}
+
+// RMSProp implements the optimizer the paper trains the controller with
+// (§V-A: RMSProp, initial learning rate 0.99, exponential decay 0.5 every 50
+// steps).
+type RMSProp struct {
+	LR           float64 // current learning rate
+	Decay        float64 // squared-gradient averaging factor
+	Eps          float64
+	ClipNorm     float64 // per-parameter gradient clipping (0 disables)
+	LRDecay      float64 // multiplicative decay applied every LRDecaySteps
+	LRDecaySteps int
+
+	steps int
+	cache map[*Param][]float64
+}
+
+// NewRMSProp returns an optimizer with the paper's hyperparameters.
+func NewRMSProp() *RMSProp {
+	return &RMSProp{
+		LR:           0.99,
+		Decay:        0.9,
+		Eps:          1e-8,
+		ClipNorm:     5.0,
+		LRDecay:      0.5,
+		LRDecaySteps: 50,
+		cache:        map[*Param][]float64{},
+	}
+}
+
+// Step applies one RMSProp update to every parameter and advances the
+// learning-rate schedule.
+func (o *RMSProp) Step(params []*Param) {
+	for _, p := range params {
+		sq, ok := o.cache[p]
+		if !ok {
+			sq = make([]float64, len(p.Val.W))
+			o.cache[p] = sq
+		}
+		scale := 1.0
+		if o.ClipNorm > 0 {
+			if n := p.GradNorm(); n > o.ClipNorm {
+				scale = o.ClipNorm / n
+			}
+		}
+		for i, g := range p.Grad.W {
+			g *= scale
+			sq[i] = o.Decay*sq[i] + (1-o.Decay)*g*g
+			p.Val.W[i] -= o.LR * g / (math.Sqrt(sq[i]) + o.Eps)
+		}
+	}
+	o.steps++
+	if o.LRDecaySteps > 0 && o.steps%o.LRDecaySteps == 0 {
+		o.LR *= o.LRDecay
+	}
+}
+
+// Steps returns the number of optimizer steps taken.
+func (o *RMSProp) Steps() int { return o.steps }
+
+// checkFinite panics when a parameter contains NaN/Inf — a guard against
+// silent training divergence.
+func checkFinite(p *Param) {
+	for _, v := range p.Val.W {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			panic(fmt.Sprintf("nn: parameter %s diverged", p.Name))
+		}
+	}
+}
+
+// CheckFinite validates all parameters.
+func CheckFinite(params []*Param) {
+	for _, p := range params {
+		checkFinite(p)
+	}
+}

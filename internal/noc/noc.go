@@ -1,0 +1,201 @@
+// Package noc is a discrete-event simulator for the data delivery path of
+// one sub-accelerator: a DMA engine streams tiles from the global buffer
+// over a bandwidth-limited NoC link into a double-buffered PE array that
+// computes on one tile while the next is in flight (the standard design of
+// the templates in internal/dataflow; NVDLA and Shidiannao both
+// double-buffer their working sets).
+//
+// The analytic cost model (internal/maestro) collapses this pipeline into
+// latency ≈ max(computeSteps, trafficBytes/bandwidth) + fill. This package
+// exists to validate that collapse: the simulator executes the tile pipeline
+// event by event, and the cross-validation tests assert the analytic value
+// is within a small bound of the simulated one across the parameter space.
+// It also models what the analytic path deliberately ignores — contention
+// between sub-accelerators sharing the global interconnect — quantifying the
+// error of treating sub-accelerator NoC shares as independent (§III-➋ gives
+// every sub-accelerator a dedicated bandwidth share, which is what the
+// hardware's NIC arbitration enforces).
+package noc
+
+import "fmt"
+
+// Tile is one unit of pipelined work: the bytes that must cross the NoC
+// before its compute can start, and the compute cycles it then occupies the
+// PE array for.
+type Tile struct {
+	Bytes         int64
+	ComputeCycles int64
+}
+
+// Link models one sub-accelerator's NoC allocation.
+type Link struct {
+	// BytesPerCycle is the provisioned bandwidth (GB/s at 1 GHz ≡ B/cycle).
+	BytesPerCycle float64
+}
+
+// transferCycles returns the cycles to move n bytes over the link.
+func (l Link) transferCycles(n int64) int64 {
+	if l.BytesPerCycle <= 0 {
+		panic("noc: non-positive bandwidth")
+	}
+	c := int64(float64(n) / l.BytesPerCycle)
+	if float64(c)*l.BytesPerCycle < float64(n) {
+		c++
+	}
+	if c < 1 && n > 0 {
+		c = 1
+	}
+	return c
+}
+
+// Simulate runs the double-buffered tile pipeline and returns the makespan
+// in cycles: tile i+1 transfers while tile i computes; compute of tile i
+// starts when both its transfer and the previous tile's compute are done.
+func Simulate(l Link, tiles []Tile) int64 {
+	var xferDone, compDone int64
+	for _, t := range tiles {
+		if t.Bytes < 0 || t.ComputeCycles < 0 {
+			panic(fmt.Sprintf("noc: negative tile %+v", t))
+		}
+		xferDone += l.transferCycles(t.Bytes) // transfers are serialized on the link
+		start := xferDone
+		if compDone > start {
+			start = compDone
+		}
+		compDone = start + t.ComputeCycles
+	}
+	return compDone
+}
+
+// Analytic returns the closed-form approximation the cost model uses:
+// max(total compute, total transfer) + first-tile fill.
+func Analytic(l Link, tiles []Tile) int64 {
+	var comp, bytes int64
+	for _, t := range tiles {
+		comp += t.ComputeCycles
+		bytes += t.Bytes
+	}
+	xfer := l.transferCycles(bytes)
+	fill := int64(0)
+	if len(tiles) > 0 {
+		fill = l.transferCycles(tiles[0].Bytes)
+	}
+	if comp > xfer {
+		return comp + fill
+	}
+	return xfer + fill
+}
+
+// EvenTiles splits a layer's total traffic and compute into n equal tiles,
+// the shape produced by the dataflow templates' regular loop nests.
+func EvenTiles(totalBytes, totalCompute int64, n int) []Tile {
+	if n <= 0 {
+		panic("noc: tile count must be positive")
+	}
+	tiles := make([]Tile, n)
+	for i := range tiles {
+		tiles[i] = Tile{
+			Bytes:         totalBytes / int64(n),
+			ComputeCycles: totalCompute / int64(n),
+		}
+	}
+	// Put the remainders on the first tile so totals are exact.
+	tiles[0].Bytes += totalBytes % int64(n)
+	tiles[0].ComputeCycles += totalCompute % int64(n)
+	return tiles
+}
+
+// SharedResult reports a contention experiment.
+type SharedResult struct {
+	// Isolated is each stream's makespan with its dedicated share.
+	Isolated []int64
+	// Shared is each stream's makespan when all streams compete for the
+	// summed link with fair round-robin arbitration.
+	Shared []int64
+}
+
+// SimulateShared runs k tile streams over one shared link of the summed
+// bandwidth with cycle-granular fair sharing, versus each stream on its
+// dedicated share. With fair arbitration and equal shares the two match
+// closely, which is why the paper (and our evaluator) can treat
+// per-sub-accelerator bandwidth shares as independent links.
+func SimulateShared(shares []Link, streams [][]Tile) SharedResult {
+	if len(shares) != len(streams) {
+		panic("noc: share/stream count mismatch")
+	}
+	res := SharedResult{
+		Isolated: make([]int64, len(streams)),
+		Shared:   make([]int64, len(streams)),
+	}
+	var total float64
+	for i, l := range shares {
+		res.Isolated[i] = Simulate(l, streams[i])
+		total += l.BytesPerCycle
+	}
+
+	// Shared simulation: at every cycle, streams with an in-flight transfer
+	// split the summed bandwidth proportionally to their provisioned share
+	// (weighted fair queuing with work conservation); each stream's PE
+	// array computes ready tiles in order, one at a time.
+	type state struct {
+		ti        int     // next tile to transfer
+		left      float64 // bytes left on the in-flight transfer
+		ready     []int64 // FIFO of compute durations whose data arrived
+		compUntil int64   // engine busy until this cycle
+		computed  int
+	}
+	sts := make([]state, len(streams))
+	done := 0
+	for i := range sts {
+		if len(streams[i]) == 0 {
+			done++
+			continue
+		}
+		sts[i].left = float64(streams[i][0].Bytes)
+	}
+
+	var cycle int64
+	for done < len(streams) {
+		cycle++
+		var activeShare float64
+		for i := range sts {
+			if sts[i].computed < len(streams[i]) && sts[i].ti < len(streams[i]) {
+				activeShare += shares[i].BytesPerCycle
+			}
+		}
+		for i := range sts {
+			st := &sts[i]
+			if st.computed >= len(streams[i]) {
+				continue
+			}
+			if st.ti < len(streams[i]) && activeShare > 0 {
+				bw := total * shares[i].BytesPerCycle / activeShare
+				st.left -= bw
+				for st.left <= 0 && st.ti < len(streams[i]) {
+					st.ready = append(st.ready, streams[i][st.ti].ComputeCycles)
+					st.ti++
+					if st.ti < len(streams[i]) {
+						st.left += float64(streams[i][st.ti].Bytes)
+					}
+				}
+			}
+			if len(st.ready) > 0 && cycle >= st.compUntil {
+				st.compUntil = cycle + st.ready[0]
+				st.ready = st.ready[1:]
+			}
+			if st.ti >= len(streams[i]) && len(st.ready) == 0 && cycle >= st.compUntil {
+				st.computed = len(streams[i])
+				res.Shared[i] = maxI64(cycle, st.compUntil)
+				done++
+			}
+		}
+	}
+	return res
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,158 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTransferCycles(t *testing.T) {
+	l := Link{BytesPerCycle: 8}
+	if got := l.transferCycles(64); got != 8 {
+		t.Errorf("64B at 8B/cy = %d cycles, want 8", got)
+	}
+	if got := l.transferCycles(65); got != 9 {
+		t.Errorf("65B at 8B/cy = %d cycles, want 9 (ceiling)", got)
+	}
+	if got := l.transferCycles(0); got != 0 {
+		t.Errorf("0B = %d cycles, want 0", got)
+	}
+	if got := l.transferCycles(1); got != 1 {
+		t.Errorf("1B = %d cycles, want 1", got)
+	}
+}
+
+func TestSimulateComputeBound(t *testing.T) {
+	// Huge compute, tiny traffic: makespan = fill + total compute.
+	l := Link{BytesPerCycle: 64}
+	tiles := EvenTiles(640, 100000, 10)
+	got := Simulate(l, tiles)
+	want := int64(1) + 100000 // first tile transfer (64B -> 1 cycle) + compute
+	if got != want {
+		t.Errorf("compute-bound makespan = %d, want %d", got, want)
+	}
+}
+
+func TestSimulateBandwidthBound(t *testing.T) {
+	// Huge traffic, tiny compute: makespan ≈ total transfer + last compute.
+	l := Link{BytesPerCycle: 1}
+	tiles := EvenTiles(100000, 10, 10)
+	got := Simulate(l, tiles)
+	if got < 100000 || got > 100000+10+1 {
+		t.Errorf("bandwidth-bound makespan = %d, want ~100001", got)
+	}
+}
+
+func TestEvenTilesExact(t *testing.T) {
+	tiles := EvenTiles(1003, 77, 7)
+	var bytes, comp int64
+	for _, ti := range tiles {
+		bytes += ti.Bytes
+		comp += ti.ComputeCycles
+	}
+	if bytes != 1003 || comp != 77 {
+		t.Errorf("EvenTiles loses work: %d bytes, %d compute", bytes, comp)
+	}
+}
+
+// The cross-validation property backing the analytic cost model: for evenly
+// tiled pipelines the closed form max(compute, transfer) + fill is within
+// one tile's worth of the event-driven simulation.
+func TestAnalyticMatchesSimulation(t *testing.T) {
+	f := func(bw8, nt8 uint8, bytes16, comp16 uint16) bool {
+		bw := float64(bw8%63 + 1)
+		n := int(nt8%30 + 2)
+		totalBytes := int64(bytes16)*50 + int64(n)
+		totalComp := int64(comp16)*20 + int64(n)
+		l := Link{BytesPerCycle: bw}
+		tiles := EvenTiles(totalBytes, totalComp, n)
+
+		sim := Simulate(l, tiles)
+		ana := Analytic(l, tiles)
+
+		// One tile of slack in either direction plus rounding.
+		perTile := l.transferCycles(tiles[0].Bytes) + tiles[0].ComputeCycles + int64(n) + 2
+		diff := sim - ana
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= perTile
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Simulation can never beat both bounds: makespan >= total compute and
+// makespan >= total transfer time.
+func TestSimulationLowerBounds(t *testing.T) {
+	f := func(bw8, nt8 uint8, bytes16, comp16 uint16) bool {
+		bw := float64(bw8%63 + 1)
+		n := int(nt8%20 + 1)
+		totalBytes := int64(bytes16) * 10
+		totalComp := int64(comp16) * 10
+		l := Link{BytesPerCycle: bw}
+		tiles := EvenTiles(totalBytes, totalComp, n)
+		sim := Simulate(l, tiles)
+		return sim >= totalComp && sim >= l.transferCycles(totalBytes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Fair sharing with proportional shares: each stream's shared makespan
+// stays close to its isolated makespan (the property that lets the
+// evaluator treat per-sub-accelerator bandwidth shares as dedicated links).
+func TestSharedMatchesIsolated(t *testing.T) {
+	shares := []Link{{BytesPerCycle: 16}, {BytesPerCycle: 48}}
+	streams := [][]Tile{
+		EvenTiles(32000, 1500, 20),
+		EvenTiles(96000, 1800, 20),
+	}
+	res := SimulateShared(shares, streams)
+	for i := range streams {
+		iso, sh := res.Isolated[i], res.Shared[i]
+		diff := sh - iso
+		if diff < 0 {
+			diff = -diff
+		}
+		if float64(diff) > 0.20*float64(iso)+64 {
+			t.Errorf("stream %d: shared %d vs isolated %d differs more than 20%%", i, sh, iso)
+		}
+	}
+}
+
+// Work conservation: when one stream is idle the other may finish earlier
+// than isolated, never later than 2x its isolated bandwidth-bound time.
+func TestSharedWorkConservation(t *testing.T) {
+	shares := []Link{{BytesPerCycle: 8}, {BytesPerCycle: 56}}
+	streams := [][]Tile{
+		EvenTiles(80000, 10, 10), // bandwidth hungry, small share
+		{},                       // idle
+	}
+	res := SimulateShared(shares, streams)
+	// With the idle stream's bandwidth redistributed, stream 0 gets the
+	// full 64 B/cycle: ~80000/64 = 1250 cycles rather than 10000.
+	if res.Shared[0] > 2*1250+100 {
+		t.Errorf("work conservation failed: shared makespan %d", res.Shared[0])
+	}
+}
+
+func TestSimulatePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"bad bw":    func() { Simulate(Link{}, []Tile{{Bytes: 1, ComputeCycles: 1}}) },
+		"neg tile":  func() { Simulate(Link{BytesPerCycle: 1}, []Tile{{Bytes: -1}}) },
+		"bad tiles": func() { EvenTiles(10, 10, 0) },
+		"mismatch":  func() { SimulateShared([]Link{{BytesPerCycle: 1}}, nil) },
+	} {
+		name, f := name, f
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

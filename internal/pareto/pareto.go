@@ -1,0 +1,106 @@
+// Package pareto provides multi-objective dominance utilities for analyzing
+// design-space exploration results: the Fig. 1 / Fig. 6 solution clouds live
+// in the (latency, energy, area, −accuracy) space, and the interesting
+// solutions are the non-dominated ones.
+package pareto
+
+import "sort"
+
+// Point is a vector of objectives, all to be minimized (negate objectives
+// that should be maximized).
+type Point struct {
+	Values []float64
+	// Tag carries caller context (e.g. an index into the solution list).
+	Tag int
+}
+
+// Dominates reports whether a dominates b: a is no worse in every objective
+// and strictly better in at least one. Points of unequal dimension never
+// dominate each other.
+func Dominates(a, b Point) bool {
+	if len(a.Values) != len(b.Values) {
+		return false
+	}
+	strictly := false
+	for i := range a.Values {
+		if a.Values[i] > b.Values[i] {
+			return false
+		}
+		if a.Values[i] < b.Values[i] {
+			strictly = true
+		}
+	}
+	return strictly
+}
+
+// Front returns the non-dominated subset of pts, preserving input order.
+// Duplicate points all survive (none strictly dominates its copy).
+func Front(pts []Point) []Point {
+	var out []Point
+	for i, p := range pts {
+		dominated := false
+		for j, q := range pts {
+			if i == j {
+				continue
+			}
+			if Dominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Front2D returns the non-dominated subset for the common two-objective
+// case in O(n log n) via a sort-and-sweep, preserving no particular order
+// (result is sorted by the first objective).
+func Front2D(pts []Point) []Point {
+	if len(pts) == 0 {
+		return nil
+	}
+	s := append([]Point(nil), pts...)
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Values[0] != s[j].Values[0] {
+			return s[i].Values[0] < s[j].Values[0]
+		}
+		return s[i].Values[1] < s[j].Values[1]
+	})
+	var out []Point
+	bestY := s[0].Values[1]
+	out = append(out, s[0])
+	for _, p := range s[1:] {
+		if p.Values[1] < bestY {
+			out = append(out, p)
+			bestY = p.Values[1]
+		}
+	}
+	return out
+}
+
+// Hypervolume2D computes the area dominated by the 2-D front within the
+// reference box [0,ref0]×[0,ref1] (objectives minimized; points outside the
+// box are clipped). It is a scalar quality-of-front measure used by the DSE
+// reports.
+func Hypervolume2D(front []Point, ref0, ref1 float64) float64 {
+	f := Front2D(front)
+	if len(f) == 0 {
+		return 0
+	}
+	var hv float64
+	prevX := ref0
+	// Sweep from the largest first objective down.
+	for i := len(f) - 1; i >= 0; i-- {
+		x := f[i].Values[0]
+		y := f[i].Values[1]
+		if x > ref0 || y > ref1 {
+			continue
+		}
+		hv += (prevX - x) * (ref1 - y)
+		prevX = x
+	}
+	return hv
+}

@@ -1,0 +1,48 @@
+package rl
+
+import "math"
+
+func mathLog(x float64) float64 { return math.Log(x) }
+
+func pow(base, exp float64) float64 {
+	if base == 1 {
+		return 1
+	}
+	return math.Pow(base, exp)
+}
+
+// Trainer bundles the REINFORCE training loop state: the EMA reward
+// baseline b and the discount γ of Eq. (1).
+type Trainer struct {
+	Gamma     float64
+	BatchSize int
+
+	baselineAlpha float64
+	baseline      float64
+	baselineInit  bool
+	steps         int
+}
+
+// NewTrainer returns a trainer with the defaults used in the experiments:
+// γ=1 (undiscounted within the short rollout), batch size 1 episode per
+// update, and an exponential-moving-average baseline with α=0.05 ("the
+// average exponential moving of rewards", Eq. 1).
+func NewTrainer() *Trainer {
+	return &Trainer{Gamma: 1.0, BatchSize: 1, baselineAlpha: 0.05}
+}
+
+// Baseline returns the current reward baseline b.
+func (t *Trainer) Baseline() float64 { return t.baseline }
+
+// Advantage folds reward into the baseline and returns (R − b) computed
+// against the pre-update baseline.
+func (t *Trainer) Advantage(reward float64) float64 {
+	if !t.baselineInit {
+		t.baseline = reward
+		t.baselineInit = true
+		return 0
+	}
+	adv := reward - t.baseline
+	t.baseline = t.baselineAlpha*reward + (1-t.baselineAlpha)*t.baseline
+	return adv
+}

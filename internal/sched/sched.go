@@ -1,0 +1,402 @@
+// Package sched implements the mapper and scheduler of §IV-③: network layers
+// (dependency chains, one per DNN) are assigned to sub-accelerators and
+// ordered so that the workload's energy is minimized subject to a latency
+// deadline. This is the heterogeneous assignment problem (HAP) of [28,29];
+// the paper's Theorem reduces spec checking to HAP:
+//
+//	specs (LS, ES) are satisfiable  ⇔  HAP(D, AIC, LS) ≤ ES.
+//
+// The package provides the heuristic solver the paper uses (a Shao-style
+// ratio-greedy refinement [29]) and an exhaustive solver for small instances
+// that serves as the ILP-optimal reference in tests and ablations.
+package sched
+
+import (
+	"fmt"
+	"math"
+)
+
+// Option is the cost of running one layer on one particular sub-accelerator.
+type Option struct {
+	Cycles      int64
+	EnergyNJ    float64
+	BufferBytes int64
+}
+
+// Layer is one schedulable unit with per-sub-accelerator costs; Options has
+// one entry per active sub-accelerator, in design order.
+type Layer struct {
+	Name    string
+	Options []Option
+}
+
+// Chain is a dependency chain of layers (one DNN); layer i must finish
+// before layer i+1 starts.
+type Chain struct {
+	Name   string
+	Layers []Layer
+}
+
+// Problem is a complete HAP instance.
+type Problem struct {
+	Chains    []Chain
+	NumAccels int
+	// Deadline is the latency spec LS in cycles.
+	Deadline int64
+}
+
+// Validate checks structural consistency.
+func (p Problem) Validate() error {
+	if p.NumAccels <= 0 {
+		return fmt.Errorf("sched: need at least one sub-accelerator")
+	}
+	if len(p.Chains) == 0 {
+		return fmt.Errorf("sched: no chains")
+	}
+	for _, c := range p.Chains {
+		if len(c.Layers) == 0 {
+			return fmt.Errorf("sched: chain %s is empty", c.Name)
+		}
+		for _, l := range c.Layers {
+			if len(l.Options) != p.NumAccels {
+				return fmt.Errorf("sched: layer %s has %d options, want %d",
+					l.Name, len(l.Options), p.NumAccels)
+			}
+			for j, o := range l.Options {
+				if o.Cycles <= 0 || o.EnergyNJ < 0 {
+					return fmt.Errorf("sched: layer %s option %d has invalid cost %+v", l.Name, j, o)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Size returns the total number of layers.
+func (p Problem) Size() int {
+	n := 0
+	for _, c := range p.Chains {
+		n += len(c.Layers)
+	}
+	return n
+}
+
+// Assignment maps [chain][layer] to a sub-accelerator index.
+type Assignment [][]int
+
+// clone deep-copies the assignment.
+func (a Assignment) clone() Assignment {
+	out := make(Assignment, len(a))
+	for i, row := range a {
+		out[i] = append([]int(nil), row...)
+	}
+	return out
+}
+
+// Result is an evaluated schedule.
+type Result struct {
+	Assign   Assignment
+	Makespan int64
+	EnergyNJ float64
+	// BufferDemand[j] is the largest buffer requirement among the layers
+	// assigned to sub-accelerator j (0 if none) — it sizes that
+	// sub-accelerator's global buffer for the area model.
+	BufferDemand []int64
+	// Feasible reports Makespan <= Deadline.
+	Feasible bool
+}
+
+// Evaluate computes makespan, energy and buffer demand of assignment a under
+// the paper's sch() policy: an event-driven list schedule that always starts
+// the ready layer with the earliest possible start time (ties resolve to the
+// lower chain index). Energy is order-independent; makespan is not.
+func Evaluate(p Problem, a Assignment) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if len(a) != len(p.Chains) {
+		return Result{}, fmt.Errorf("sched: assignment has %d chains, want %d", len(a), len(p.Chains))
+	}
+	for i, row := range a {
+		if len(row) != len(p.Chains[i].Layers) {
+			return Result{}, fmt.Errorf("sched: chain %d assignment has %d layers, want %d",
+				i, len(row), len(p.Chains[i].Layers))
+		}
+		for li, j := range row {
+			if j < 0 || j >= p.NumAccels {
+				return Result{}, fmt.Errorf("sched: chain %d layer %d assigned to invalid accelerator %d", i, li, j)
+			}
+		}
+	}
+
+	next := make([]int, len(p.Chains)) // next unscheduled layer per chain
+	chainReady := make([]int64, len(p.Chains))
+	accelFree := make([]int64, p.NumAccels)
+	buf := make([]int64, p.NumAccels)
+	var energy float64
+	var makespan int64
+
+	remaining := p.Size()
+	for remaining > 0 {
+		bestChain := -1
+		var bestStart int64 = math.MaxInt64
+		for ci := range p.Chains {
+			li := next[ci]
+			if li >= len(p.Chains[ci].Layers) {
+				continue
+			}
+			j := a[ci][li]
+			start := chainReady[ci]
+			if accelFree[j] > start {
+				start = accelFree[j]
+			}
+			if start < bestStart {
+				bestStart = start
+				bestChain = ci
+			}
+		}
+		ci := bestChain
+		li := next[ci]
+		j := a[ci][li]
+		opt := p.Chains[ci].Layers[li].Options[j]
+		finish := bestStart + opt.Cycles
+		chainReady[ci] = finish
+		accelFree[j] = finish
+		if finish > makespan {
+			makespan = finish
+		}
+		energy += opt.EnergyNJ
+		if opt.BufferBytes > buf[j] {
+			buf[j] = opt.BufferBytes
+		}
+		next[ci]++
+		remaining--
+	}
+
+	// The returned Assign is detached from the caller's (possibly scratch)
+	// slice so Result snapshots stay valid after further mutation.
+	return Result{
+		Assign:       a.clone(),
+		Makespan:     makespan,
+		EnergyNJ:     energy,
+		BufferDemand: buf,
+		Feasible:     makespan <= p.Deadline,
+	}, nil
+}
+
+// minLatencyAssignment assigns every layer to its fastest sub-accelerator.
+func minLatencyAssignment(p Problem) Assignment {
+	a := make(Assignment, len(p.Chains))
+	for ci, c := range p.Chains {
+		a[ci] = make([]int, len(c.Layers))
+		for li, l := range c.Layers {
+			best, bc := 0, l.Options[0].Cycles
+			for j := 1; j < len(l.Options); j++ {
+				if l.Options[j].Cycles < bc {
+					best, bc = j, l.Options[j].Cycles
+				}
+			}
+			a[ci][li] = best
+		}
+	}
+	return a
+}
+
+// Heuristic solves the HAP instance with the paper's accelerated approach
+// [29]: seed with the minimum-latency assignment, then greedily apply the
+// single-layer move with the best energy-saving-per-latency-cost ratio while
+// the deadline still holds. If even the seed misses the deadline, it
+// performs makespan-reducing moves first (load balancing) before optimizing
+// energy. The returned Result reports Feasible=false when no deadline-
+// meeting schedule was found.
+func Heuristic(p Problem) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	a := minLatencyAssignment(p)
+	cur, err := Evaluate(p, a)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Phase 1: if infeasible, try to shorten the makespan by moving layers
+	// off the critical (busiest) accelerator.
+	for !cur.Feasible {
+		improved := false
+		best := cur
+		for ci, c := range p.Chains {
+			for li := range c.Layers {
+				orig := a[ci][li]
+				for j := 0; j < p.NumAccels; j++ {
+					if j == orig {
+						continue
+					}
+					a[ci][li] = j
+					cand, err := Evaluate(p, a)
+					if err != nil {
+						return Result{}, err
+					}
+					if cand.Makespan < best.Makespan {
+						best = cand.clone2()
+						improved = true
+					}
+				}
+				a[ci][li] = orig
+			}
+		}
+		if !improved {
+			break
+		}
+		a = best.Assign.clone()
+		cur = best
+	}
+	if !cur.Feasible {
+		return cur, nil
+	}
+
+	// Phase 2: ratio-greedy energy refinement under the deadline.
+	for {
+		type move struct {
+			ci, li, j int
+			res       Result
+			ratio     float64
+		}
+		var bestMove *move
+		for ci, c := range p.Chains {
+			for li := range c.Layers {
+				orig := a[ci][li]
+				for j := 0; j < p.NumAccels; j++ {
+					if j == orig {
+						continue
+					}
+					a[ci][li] = j
+					cand, err := Evaluate(p, a)
+					if err != nil {
+						return Result{}, err
+					}
+					a[ci][li] = orig
+					if !cand.Feasible {
+						continue
+					}
+					dE := cur.EnergyNJ - cand.EnergyNJ
+					if dE <= 1e-12 {
+						continue
+					}
+					dT := float64(cand.Makespan - cur.Makespan)
+					if dT < 1 {
+						dT = 1
+					}
+					r := dE / dT
+					if bestMove == nil || r > bestMove.ratio {
+						m := move{ci: ci, li: li, j: j, res: cand.clone2(), ratio: r}
+						bestMove = &m
+					}
+				}
+			}
+		}
+		if bestMove == nil {
+			return cur, nil
+		}
+		a[bestMove.ci][bestMove.li] = bestMove.j
+		cur = bestMove.res
+	}
+}
+
+// clone2 returns a Result whose Assign is detached from the caller's
+// scratch assignment.
+func (r Result) clone2() Result {
+	r.Assign = r.Assign.clone()
+	r.BufferDemand = append([]int64(nil), r.BufferDemand...)
+	return r
+}
+
+// MaxExhaustiveSize bounds the instance size Exhaustive accepts
+// (NumAccels^Size assignments are enumerated).
+const MaxExhaustiveSize = 1 << 20
+
+// Exhaustive enumerates every assignment and returns the minimum-energy
+// schedule meeting the deadline, or — when none is feasible — the schedule
+// with the smallest makespan. It is the optimal reference standing in for
+// the paper's ILP formulation; it returns an error when the instance is too
+// large (NumAccels^layers > MaxExhaustiveSize).
+func Exhaustive(p Problem) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	n := p.Size()
+	total := 1
+	for i := 0; i < n; i++ {
+		total *= p.NumAccels
+		if total > MaxExhaustiveSize {
+			return Result{}, fmt.Errorf("sched: instance too large for exhaustive search (%d layers, %d accelerators)", n, p.NumAccels)
+		}
+	}
+
+	flat := make([]int, n)
+	a := make(Assignment, len(p.Chains))
+	{
+		k := 0
+		for ci, c := range p.Chains {
+			a[ci] = flat[k : k+len(c.Layers)]
+			k += len(c.Layers)
+		}
+	}
+
+	var best Result
+	haveFeasible := false
+	have := false
+	for idx := 0; idx < total; idx++ {
+		v := idx
+		for i := 0; i < n; i++ {
+			flat[i] = v % p.NumAccels
+			v /= p.NumAccels
+		}
+		res, err := Evaluate(p, a)
+		if err != nil {
+			return Result{}, err
+		}
+		switch {
+		case res.Feasible && (!haveFeasible || res.EnergyNJ < best.EnergyNJ):
+			best = res.clone2()
+			haveFeasible = true
+		case !haveFeasible && (!have || res.Makespan < best.Makespan):
+			best = res.clone2()
+		}
+		have = true
+	}
+	return best, nil
+}
+
+// HAP is the paper's solver function re = HAP(D, AIC, LS): it returns the
+// minimum energy achievable under deadline p.Deadline, +Inf when no feasible
+// schedule exists. It dispatches to Exhaustive for small instances and the
+// heuristic otherwise.
+func HAP(p Problem) (float64, Result, error) {
+	var (
+		res Result
+		err error
+	)
+	if canExhaust(p) {
+		res, err = Exhaustive(p)
+	} else {
+		res, err = Heuristic(p)
+	}
+	if err != nil {
+		return 0, Result{}, err
+	}
+	if !res.Feasible {
+		return math.Inf(1), res, nil
+	}
+	return res.EnergyNJ, res, nil
+}
+
+func canExhaust(p Problem) bool {
+	total := 1
+	for i := 0; i < p.Size(); i++ {
+		total *= p.NumAccels
+		if total > 4096 { // keep the exact path fast inside the search loop
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,155 @@
+package sched
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Placement is one scheduled layer execution in a timeline.
+type Placement struct {
+	Chain int
+	Layer int
+	Name  string
+	Accel int
+	Start int64
+	End   int64
+}
+
+// Timeline evaluates assignment a like Evaluate but additionally returns the
+// per-layer placements (the concrete sch() schedule), in start order.
+func Timeline(p Problem, a Assignment) (Result, []Placement, error) {
+	res, err := Evaluate(p, a)
+	if err != nil {
+		return Result{}, nil, err
+	}
+
+	// Re-run the same event-driven policy, recording placements.
+	next := make([]int, len(p.Chains))
+	chainReady := make([]int64, len(p.Chains))
+	accelFree := make([]int64, p.NumAccels)
+	var placements []Placement
+
+	remaining := p.Size()
+	for remaining > 0 {
+		bestChain := -1
+		var bestStart int64 = int64(^uint64(0) >> 1)
+		for ci := range p.Chains {
+			li := next[ci]
+			if li >= len(p.Chains[ci].Layers) {
+				continue
+			}
+			j := a[ci][li]
+			start := chainReady[ci]
+			if accelFree[j] > start {
+				start = accelFree[j]
+			}
+			if start < bestStart {
+				bestStart = start
+				bestChain = ci
+			}
+		}
+		ci := bestChain
+		li := next[ci]
+		j := a[ci][li]
+		opt := p.Chains[ci].Layers[li].Options[j]
+		finish := bestStart + opt.Cycles
+		placements = append(placements, Placement{
+			Chain: ci, Layer: li, Name: p.Chains[ci].Layers[li].Name,
+			Accel: j, Start: bestStart, End: finish,
+		})
+		chainReady[ci] = finish
+		accelFree[j] = finish
+		next[ci]++
+		remaining--
+	}
+	return res, placements, nil
+}
+
+// ValidateTimeline checks the structural invariants of a placement list
+// against its problem: chain order respected, no overlap on any
+// sub-accelerator, and every layer placed exactly once. It is used by the
+// property tests and available to external tooling.
+func ValidateTimeline(p Problem, placements []Placement) error {
+	seen := map[[2]int]Placement{}
+	for _, pl := range placements {
+		key := [2]int{pl.Chain, pl.Layer}
+		if _, dup := seen[key]; dup {
+			return fmt.Errorf("sched: layer %d/%d placed twice", pl.Chain, pl.Layer)
+		}
+		seen[key] = pl
+		if pl.End <= pl.Start {
+			return fmt.Errorf("sched: placement %s has non-positive duration", pl.Name)
+		}
+	}
+	if len(seen) != p.Size() {
+		return fmt.Errorf("sched: %d placements for %d layers", len(seen), p.Size())
+	}
+	// Chain dependencies.
+	for ci, c := range p.Chains {
+		for li := 1; li < len(c.Layers); li++ {
+			prev := seen[[2]int{ci, li - 1}]
+			cur := seen[[2]int{ci, li}]
+			if cur.Start < prev.End {
+				return fmt.Errorf("sched: chain %d layer %d starts at %d before predecessor ends at %d",
+					ci, li, cur.Start, prev.End)
+			}
+		}
+	}
+	// Per-accelerator exclusivity.
+	byAccel := map[int][]Placement{}
+	for _, pl := range placements {
+		byAccel[pl.Accel] = append(byAccel[pl.Accel], pl)
+	}
+	for accel, pls := range byAccel {
+		sort.Slice(pls, func(i, j int) bool { return pls[i].Start < pls[j].Start })
+		for i := 1; i < len(pls); i++ {
+			if pls[i].Start < pls[i-1].End {
+				return fmt.Errorf("sched: overlap on accelerator %d between %s and %s",
+					accel, pls[i-1].Name, pls[i].Name)
+			}
+		}
+	}
+	return nil
+}
+
+// RenderGantt writes an ASCII Gantt chart of the placements, one row per
+// sub-accelerator, width columns wide.
+func RenderGantt(w io.Writer, p Problem, placements []Placement, width int) {
+	if width < 20 {
+		width = 20
+	}
+	var makespan int64
+	for _, pl := range placements {
+		if pl.End > makespan {
+			makespan = pl.End
+		}
+	}
+	if makespan == 0 {
+		fmt.Fprintln(w, "(empty schedule)")
+		return
+	}
+	col := func(t int64) int {
+		c := int(t * int64(width) / makespan)
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	marks := "0123456789abcdefghijklmnopqrstuvwxyz"
+	fmt.Fprintf(w, "schedule (makespan %d cycles, %d layers; digit = chain index)\n", makespan, len(placements))
+	for accel := 0; accel < p.NumAccels; accel++ {
+		row := []rune(strings.Repeat(".", width))
+		for _, pl := range placements {
+			if pl.Accel != accel {
+				continue
+			}
+			m := rune(marks[pl.Chain%len(marks)])
+			for c := col(pl.Start); c <= col(pl.End-1); c++ {
+				row[c] = m
+			}
+		}
+		fmt.Fprintf(w, "aic%d |%s|\n", accel+1, string(row))
+	}
+}

@@ -1,0 +1,141 @@
+package sched
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"nasaic/internal/stats"
+)
+
+func TestTimelineMatchesEvaluate(t *testing.T) {
+	p := twoAccelProblem(1000)
+	a := Assignment{{0, 1, 0}, {1, 0}}
+	res, placements, err := Timeline(p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Evaluate(p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != res2.Makespan || res.EnergyNJ != res2.EnergyNJ {
+		t.Errorf("Timeline result %+v differs from Evaluate %+v", res, res2)
+	}
+	if err := ValidateTimeline(p, placements); err != nil {
+		t.Errorf("invalid timeline: %v", err)
+	}
+	var maxEnd int64
+	for _, pl := range placements {
+		if pl.End > maxEnd {
+			maxEnd = pl.End
+		}
+	}
+	if maxEnd != res.Makespan {
+		t.Errorf("timeline end %d != makespan %d", maxEnd, res.Makespan)
+	}
+}
+
+// Property: every random assignment produces a structurally valid timeline
+// whose end equals the evaluated makespan.
+func TestTimelineAlwaysValid(t *testing.T) {
+	rng := stats.NewRNG(17)
+	f := func(seed uint32) bool {
+		_ = seed
+		nChains := 1 + rng.Intn(3)
+		p := Problem{NumAccels: 1 + rng.Intn(3), Deadline: 1000}
+		a := make(Assignment, nChains)
+		for c := 0; c < nChains; c++ {
+			nl := 1 + rng.Intn(5)
+			ch := Chain{Name: "c"}
+			row := make([]int, nl)
+			for l := 0; l < nl; l++ {
+				opts := make([]Option, p.NumAccels)
+				for j := range opts {
+					opts[j] = Option{Cycles: int64(1 + rng.Intn(40)), EnergyNJ: rng.Float64()}
+				}
+				ch.Layers = append(ch.Layers, Layer{Name: "l", Options: opts})
+				row[l] = rng.Intn(p.NumAccels)
+			}
+			p.Chains = append(p.Chains, ch)
+			a[c] = row
+		}
+		res, placements, err := Timeline(p, a)
+		if err != nil {
+			return false
+		}
+		if ValidateTimeline(p, placements) != nil {
+			return false
+		}
+		var maxEnd int64
+		for _, pl := range placements {
+			if pl.End > maxEnd {
+				maxEnd = pl.End
+			}
+		}
+		return maxEnd == res.Makespan
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateTimelineCatchesCorruption(t *testing.T) {
+	p := twoAccelProblem(1000)
+	a := Assignment{{0, 1, 0}, {1, 0}}
+	_, placements, err := Timeline(p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overlap corruption: force two placements on accel 0 to collide.
+	bad := append([]Placement(nil), placements...)
+	moved := false
+	for i := range bad {
+		if bad[i].Accel == 0 && bad[i].Start > 0 {
+			bad[i].Start = 0
+			bad[i].End = bad[i].End / 2
+			if bad[i].End <= 0 {
+				bad[i].End = 1
+			}
+			moved = true
+			break
+		}
+	}
+	if moved {
+		if err := ValidateTimeline(p, bad); err == nil {
+			t.Error("corrupted timeline accepted")
+		}
+	}
+	// Missing placement.
+	if err := ValidateTimeline(p, placements[:len(placements)-1]); err == nil {
+		t.Error("incomplete timeline accepted")
+	}
+	// Duplicate placement.
+	if err := ValidateTimeline(p, append(append([]Placement(nil), placements...), placements[0])); err == nil {
+		t.Error("duplicated placement accepted")
+	}
+}
+
+func TestRenderGantt(t *testing.T) {
+	p := twoAccelProblem(1000)
+	a := Assignment{{0, 0, 0}, {1, 1}}
+	_, placements, err := Timeline(p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	RenderGantt(&buf, p, placements, 40)
+	out := buf.String()
+	if !strings.Contains(out, "aic1") || !strings.Contains(out, "aic2") {
+		t.Errorf("gantt missing accelerator rows:\n%s", out)
+	}
+	if !strings.Contains(out, "0") || !strings.Contains(out, "1") {
+		t.Errorf("gantt missing chain marks:\n%s", out)
+	}
+	buf.Reset()
+	RenderGantt(&buf, p, nil, 40)
+	if !strings.Contains(buf.String(), "empty") {
+		t.Error("empty schedule not handled")
+	}
+}

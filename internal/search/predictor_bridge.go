@@ -1,0 +1,14 @@
+package search
+
+import (
+	"nasaic/internal/dnn"
+	"nasaic/internal/predictor"
+	"nasaic/internal/workload"
+)
+
+// predictorAccuracy evaluates a network's converged quality on the task's
+// dataset. Kept in its own file so the baseline logic reads cleanly against
+// the paper's description.
+func predictorAccuracy(t workload.TaskSpec, n *dnn.Network) float64 {
+	return predictor.Accuracy(t.Dataset, n)
+}

@@ -1,0 +1,87 @@
+// Package stats provides deterministic randomness, running statistics, and
+// small numeric helpers shared by the NASAIC search infrastructure.
+//
+// All experiments in this repository are seeded so that every table and
+// figure regenerates identically run-to-run; RNG wraps math/rand with a
+// splittable seed scheme so concurrent workers stay deterministic.
+package stats
+
+import (
+	"hash/fnv"
+	"math/rand"
+)
+
+// RNG is a deterministic random source. It is a thin wrapper over
+// math/rand.Rand that adds categorical sampling and child-stream splitting.
+// An RNG is not safe for concurrent use; use Split to derive independent
+// streams for worker goroutines.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns an RNG seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Split derives an independent child stream identified by label. The child
+// sequence depends only on (parent seed state, label), so workers created in
+// a fixed order observe fixed streams.
+func (g *RNG) Split(label string) *RNG {
+	h := fnv.New64a()
+	h.Write([]byte(label))
+	return NewRNG(int64(h.Sum64()) ^ g.r.Int63())
+}
+
+// Float64 returns a uniform sample in [0,1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform sample in [0,n). It panics if n <= 0.
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// NormFloat64 returns a standard normal sample.
+func (g *RNG) NormFloat64() float64 { return g.r.NormFloat64() }
+
+// Perm returns a random permutation of [0,n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Categorical samples an index from the probability vector p. The vector
+// must be non-negative; it is normalized internally so callers may pass
+// unnormalized weights. It panics if p is empty or sums to zero.
+func (g *RNG) Categorical(p []float64) int {
+	if len(p) == 0 {
+		panic("stats: Categorical on empty distribution")
+	}
+	var sum float64
+	for _, v := range p {
+		if v < 0 {
+			panic("stats: Categorical with negative weight")
+		}
+		sum += v
+	}
+	if sum == 0 {
+		panic("stats: Categorical with zero-mass distribution")
+	}
+	u := g.r.Float64() * sum
+	acc := 0.0
+	for i, v := range p {
+		acc += v
+		if u < acc {
+			return i
+		}
+	}
+	return len(p) - 1
+}
+
+// HashString maps a string to a stable 64-bit value. It is used to derive
+// deterministic per-architecture perturbations in the accuracy predictor.
+func HashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// HashUnit maps a string to a stable value in [0,1).
+func HashUnit(s string) float64 {
+	return float64(HashString(s)%1_000_000_007) / 1_000_000_007.0
+}

@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// EMA is an exponential moving average, used as the REINFORCE reward
+// baseline b in Eq. (1) of the paper. The zero value is invalid; use NewEMA.
+type EMA struct {
+	alpha float64
+	value float64
+	init  bool
+}
+
+// NewEMA returns an EMA with smoothing factor alpha in (0,1]. Larger alpha
+// weights recent observations more heavily.
+func NewEMA(alpha float64) *EMA {
+	if alpha <= 0 || alpha > 1 {
+		panic("stats: EMA alpha must be in (0,1]")
+	}
+	return &EMA{alpha: alpha}
+}
+
+// Update folds x into the average and returns the new value. The first
+// observation initializes the average exactly.
+func (e *EMA) Update(x float64) float64 {
+	if !e.init {
+		e.value = x
+		e.init = true
+		return x
+	}
+	e.value = e.alpha*x + (1-e.alpha)*e.value
+	return e.value
+}
+
+// Value returns the current average (0 before any update).
+func (e *EMA) Value() float64 { return e.value }
+
+// Initialized reports whether at least one observation has been folded in.
+func (e *EMA) Initialized() bool { return e.init }
+
+// Summary holds order statistics of a sample.
+type Summary struct {
+	N           int
+	Min, Max    float64
+	Mean, Std   float64
+	P25, Median float64
+	P75         float64
+}
+
+// Summarize computes summary statistics of xs. It returns a zero Summary for
+// an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	var sum, sq float64
+	for _, v := range s {
+		sum += v
+	}
+	mean := sum / float64(len(s))
+	for _, v := range s {
+		d := v - mean
+		sq += d * d
+	}
+	std := 0.0
+	if len(s) > 1 {
+		std = math.Sqrt(sq / float64(len(s)-1))
+	}
+	return Summary{
+		N:      len(s),
+		Min:    s[0],
+		Max:    s[len(s)-1],
+		Mean:   mean,
+		Std:    std,
+		P25:    quantile(s, 0.25),
+		Median: quantile(s, 0.5),
+		P75:    quantile(s, 0.75),
+	}
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// ArgMax returns the index of the maximum element of xs, or -1 if empty.
+// Ties resolve to the first maximum.
+func ArgMax(xs []float64) int {
+	best := -1
+	bv := math.Inf(-1)
+	for i, v := range xs {
+		if v > bv {
+			bv, best = v, i
+		}
+	}
+	return best
+}
+
+// Clamp limits x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

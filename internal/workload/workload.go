@@ -1,0 +1,134 @@
+// Package workload defines the paper's multi-task application workloads
+// (§III-➊, §V-A): sets of AI tasks, each pairing a dataset with a
+// neural-architecture search space and an accuracy weight α_i, plus the
+// unified hardware design specs ⟨LS, ES, AS⟩ every workload must meet.
+package workload
+
+import (
+	"fmt"
+
+	"nasaic/internal/dnn"
+	"nasaic/internal/predictor"
+)
+
+// TaskSpec is one AI task in a workload.
+type TaskSpec struct {
+	Name    string
+	Dataset predictor.Dataset
+	Space   *dnn.Space
+	// Weight is α_i in Eq. (2); the paper uses equal weights.
+	Weight float64
+}
+
+// Specs are the unified hardware design specifications: latency in cycles,
+// energy in nJ, area in µm².
+type Specs struct {
+	LatencyCycles int64
+	EnergyNJ      float64
+	AreaUM2       float64
+}
+
+// String renders the paper's ⟨LS, ES, AS⟩ notation.
+func (s Specs) String() string {
+	return fmt.Sprintf("<%.3g cycles, %.3g nJ, %.3g um2>",
+		float64(s.LatencyCycles), s.EnergyNJ, s.AreaUM2)
+}
+
+// Workload is a multi-task application with its design specs.
+type Workload struct {
+	Name  string
+	Tasks []TaskSpec
+	Specs Specs
+}
+
+// Validate checks the workload structure and that weights form a convex
+// combination.
+func (w Workload) Validate() error {
+	if len(w.Tasks) == 0 {
+		return fmt.Errorf("workload %s: no tasks", w.Name)
+	}
+	var sum float64
+	for i, t := range w.Tasks {
+		if t.Space == nil {
+			return fmt.Errorf("workload %s task %d: nil search space", w.Name, i)
+		}
+		if t.Weight < 0 || t.Weight > 1 {
+			return fmt.Errorf("workload %s task %d: weight %f out of [0,1]", w.Name, i, t.Weight)
+		}
+		sum += t.Weight
+	}
+	if diff := sum - 1; diff > 1e-9 || diff < -1e-9 {
+		return fmt.Errorf("workload %s: weights sum to %f, want 1", w.Name, sum)
+	}
+	if w.Specs.LatencyCycles <= 0 || w.Specs.EnergyNJ <= 0 || w.Specs.AreaUM2 <= 0 {
+		return fmt.Errorf("workload %s: non-positive specs %v", w.Name, w.Specs)
+	}
+	return nil
+}
+
+// Weighted computes the weighted accuracy of Eq. (2) for per-task
+// qualities accs (same order as Tasks).
+func (w Workload) Weighted(accs []float64) float64 {
+	if len(accs) != len(w.Tasks) {
+		panic(fmt.Sprintf("workload %s: %d accuracies for %d tasks", w.Name, len(accs), len(w.Tasks)))
+	}
+	var sum float64
+	for i, t := range w.Tasks {
+		sum += t.Weight * accs[i]
+	}
+	return sum
+}
+
+// W1 is the mixed workload: CIFAR-10 classification + Nuclei segmentation,
+// with design specs ⟨8e5 cycles, 2e9 nJ, 4e9 µm²⟩ (§V-A).
+func W1() Workload {
+	return Workload{
+		Name: "W1",
+		Tasks: []TaskSpec{
+			{Name: "classification", Dataset: predictor.CIFAR10, Space: dnn.CIFARResNetSpace(), Weight: 0.5},
+			{Name: "segmentation", Dataset: predictor.Nuclei, Space: dnn.NucleiUNetSpace(), Weight: 0.5},
+		},
+		Specs: Specs{LatencyCycles: 8e5, EnergyNJ: 2e9, AreaUM2: 4e9},
+	}
+}
+
+// W2 is the two-classification workload: CIFAR-10 + STL-10, with specs
+// ⟨1e6 cycles, 3.5e9 nJ, 4e9 µm²⟩.
+func W2() Workload {
+	return Workload{
+		Name: "W2",
+		Tasks: []TaskSpec{
+			{Name: "cifar", Dataset: predictor.CIFAR10, Space: dnn.CIFARResNetSpace(), Weight: 0.5},
+			{Name: "stl", Dataset: predictor.STL10, Space: dnn.STLResNetSpace(), Weight: 0.5},
+		},
+		Specs: Specs{LatencyCycles: 1e6, EnergyNJ: 3.5e9, AreaUM2: 4e9},
+	}
+}
+
+// W3 is the homogeneous workload: two instances of CIFAR-10 classification,
+// with specs ⟨4e5 cycles, 1e9 nJ, 4e9 µm²⟩ (used for the single vs.
+// homogeneous vs. heterogeneous study of Table II).
+func W3() Workload {
+	return Workload{
+		Name: "W3",
+		Tasks: []TaskSpec{
+			{Name: "cifar-a", Dataset: predictor.CIFAR10, Space: dnn.CIFARResNetSpace(), Weight: 0.5},
+			{Name: "cifar-b", Dataset: predictor.CIFAR10, Space: dnn.CIFARResNetSpace(), Weight: 0.5},
+		},
+		Specs: Specs{LatencyCycles: 4e5, EnergyNJ: 1e9, AreaUM2: 4e9},
+	}
+}
+
+// ByName returns the named workload (W1, W2 or W3).
+func ByName(name string) (Workload, error) {
+	switch name {
+	case "W1", "w1":
+		return W1(), nil
+	case "W2", "w2":
+		return W2(), nil
+	case "W3", "w3":
+		return W3(), nil
+	default:
+		return Workload{}, fmt.Errorf("workload: unknown workload %q (want W1, W2 or W3)", name)
+	}
+}

@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"nasaic/internal/predictor"
+)
+
+func TestPaperWorkloads(t *testing.T) {
+	cases := []struct {
+		w        Workload
+		names    []string
+		datasets []predictor.Dataset
+		specs    Specs
+	}{
+		{W1(), []string{"classification", "segmentation"},
+			[]predictor.Dataset{predictor.CIFAR10, predictor.Nuclei},
+			Specs{8e5, 2e9, 4e9}},
+		{W2(), []string{"cifar", "stl"},
+			[]predictor.Dataset{predictor.CIFAR10, predictor.STL10},
+			Specs{1e6, 3.5e9, 4e9}},
+		{W3(), []string{"cifar-a", "cifar-b"},
+			[]predictor.Dataset{predictor.CIFAR10, predictor.CIFAR10},
+			Specs{4e5, 1e9, 4e9}},
+	}
+	for _, c := range cases {
+		if err := c.w.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", c.w.Name, err)
+		}
+		if len(c.w.Tasks) != 2 {
+			t.Errorf("%s: want 2 tasks", c.w.Name)
+		}
+		for i, task := range c.w.Tasks {
+			if task.Name != c.names[i] || task.Dataset != c.datasets[i] {
+				t.Errorf("%s task %d: got %s/%v", c.w.Name, i, task.Name, task.Dataset)
+			}
+			if task.Weight != 0.5 {
+				t.Errorf("%s task %d: weight %f, want 0.5 (paper α1=α2=0.5)", c.w.Name, i, task.Weight)
+			}
+		}
+		if c.w.Specs != c.specs {
+			t.Errorf("%s specs %+v, want %+v", c.w.Name, c.w.Specs, c.specs)
+		}
+	}
+}
+
+func TestWeighted(t *testing.T) {
+	w := W1()
+	got := w.Weighted([]float64{0.9, 0.8})
+	if math.Abs(got-0.85) > 1e-12 {
+		t.Errorf("Weighted = %f, want 0.85", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on accuracy-count mismatch")
+		}
+	}()
+	w.Weighted([]float64{0.9})
+}
+
+func TestValidateRejects(t *testing.T) {
+	w := W1()
+	w.Tasks[0].Weight = 0.9 // weights now sum to 1.4
+	if err := w.Validate(); err == nil {
+		t.Error("unnormalized weights accepted")
+	}
+	w2 := W1()
+	w2.Specs.EnergyNJ = 0
+	if err := w2.Validate(); err == nil {
+		t.Error("zero energy spec accepted")
+	}
+	w3 := W1()
+	w3.Tasks = nil
+	if err := w3.Validate(); err == nil {
+		t.Error("empty task list accepted")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"W1", "w2", "W3"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("W9"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestSpecsString(t *testing.T) {
+	s := W1().Specs.String()
+	if s == "" {
+		t.Error("empty specs string")
+	}
+}
