@@ -34,11 +34,20 @@ var (
 	printFig6   [3]sync.Once
 )
 
+// reportSearchStats attaches the hardware-evaluation cache metrics of a
+// table/figure regeneration: how many cost-model + HAP computations actually
+// ran (hw_evals) and what share of requests the evalcache layer absorbed
+// (hw_cache_hit_pct). See EXPERIMENTS.md for how to read them.
+func reportSearchStats(b *testing.B, st experiments.SearchStats) {
+	b.ReportMetric(float64(st.HWEvals), "hw_evals")
+	b.ReportMetric(st.HitPct(), "hw_cache_hit_pct")
+}
+
 // BenchmarkTable1 regenerates Table I: NAS→ASIC vs ASIC→HW-NAS vs NASAIC on
 // workloads W1 and W2.
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table1(experiments.QuickBudget())
+		rows, stats, err := experiments.Table1(experiments.QuickBudget())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -55,6 +64,22 @@ func BenchmarkTable1(b *testing.B) {
 			}
 		}
 		b.ReportMetric(100*nasaicW1, "W1_nasaic_avg_acc_pct")
+		reportSearchStats(b, stats)
+	}
+}
+
+// BenchmarkTable1NoCache is the cache-disabled control for BenchmarkTable1:
+// identical rows, higher hw_evals, and the wall-clock delta quantifies the
+// evalcache layer's win on the full Table I pipeline.
+func BenchmarkTable1NoCache(b *testing.B) {
+	budget := experiments.QuickBudget()
+	budget.DisableHWCache = true
+	for i := 0; i < b.N; i++ {
+		_, stats, err := experiments.Table1(budget)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSearchStats(b, stats)
 	}
 }
 
@@ -62,7 +87,7 @@ func BenchmarkTable1(b *testing.B) {
 // heterogeneous accelerator configurations on W3.
 func BenchmarkTable2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table2(experiments.QuickBudget())
+		rows, stats, err := experiments.Table2(experiments.QuickBudget())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -71,6 +96,20 @@ func BenchmarkTable2(b *testing.B) {
 			experiments.RenderTable2(os.Stdout, rows)
 		})
 		b.ReportMetric(100*rows[len(rows)-1].Rows[0].Accuracy, "hetero_best_acc_pct")
+		reportSearchStats(b, stats)
+	}
+}
+
+// BenchmarkTable2NoCache is the cache-disabled control for BenchmarkTable2.
+func BenchmarkTable2NoCache(b *testing.B) {
+	budget := experiments.QuickBudget()
+	budget.DisableHWCache = true
+	for i := 0; i < b.N; i++ {
+		_, stats, err := experiments.Table2(budget)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSearchStats(b, stats)
 	}
 }
 
@@ -108,6 +147,7 @@ func benchFig6(b *testing.B, idx int, w workload.Workload) {
 		})
 		b.ReportMetric(100*d.Best.Weighted, "best_weighted_pct")
 		b.ReportMetric(float64(len(d.Explored)), "explored_solutions")
+		reportSearchStats(b, d.Stats)
 	}
 }
 
@@ -176,6 +216,17 @@ func BenchmarkAblationNoEntropy(b *testing.B) {
 func BenchmarkAblationNoHWSteps(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		w := runW3Ablation(b, func(c *core.Config) { c.HWSteps = 0 })
+		b.ReportMetric(100*w, "best_weighted_pct")
+	}
+}
+
+// BenchmarkAblationNoHWCache disables the hardware-evaluation cache. The
+// search outcome is bit-identical to BenchmarkAblationFull (the cache only
+// memoizes a pure function); the ns/op delta is the cache's wall-clock win
+// and hw_evals shows the computations it avoided.
+func BenchmarkAblationNoHWCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w := runW3Ablation(b, func(c *core.Config) { c.HWCache = false })
 		b.ReportMetric(100*w, "best_weighted_pct")
 	}
 }

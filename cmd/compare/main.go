@@ -19,10 +19,11 @@ import (
 
 func main() {
 	var (
-		table = flag.Int("table", 1, "table to regenerate: 1 or 2")
-		paper = flag.Bool("paper", false, "use the paper's full search budget")
-		seed  = flag.Int64("seed", 1, "random seed")
-		csv   = flag.String("csv", "", "optional path for CSV export (table 1 only)")
+		table   = flag.Int("table", 1, "table to regenerate: 1 or 2")
+		paper   = flag.Bool("paper", false, "use the paper's full search budget")
+		seed    = flag.Int64("seed", 1, "random seed")
+		csv     = flag.String("csv", "", "optional path for CSV export (table 1 only)")
+		hwcache = flag.Bool("hwcache", true, "memoize hardware evaluations (results are identical either way)")
 	)
 	flag.Parse()
 
@@ -31,15 +32,22 @@ func main() {
 		b = experiments.PaperBudget()
 	}
 	b.Seed = *seed
+	b.DisableHWCache = !*hwcache
+
+	printStats := func(stats experiments.SearchStats) {
+		fmt.Printf("\nNASAIC evaluator work: %d hardware evaluations for %d requests (%.1f%% cache hits, %d in-batch dedups), %d trainings\n",
+			stats.HWEvals, stats.HWRequests, stats.HitPct(), stats.HWDeduped, stats.Trainings)
+	}
 
 	switch *table {
 	case 1:
-		rows, err := experiments.Table1(b)
+		rows, stats, err := experiments.Table1(b)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		experiments.RenderTable1(os.Stdout, rows)
+		printStats(stats)
 		if *csv != "" {
 			f, err := os.Create(*csv)
 			if err != nil {
@@ -54,12 +62,13 @@ func main() {
 			}
 		}
 	case 2:
-		rows, err := experiments.Table2(b)
+		rows, stats, err := experiments.Table2(b)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		experiments.RenderTable2(os.Stdout, rows)
+		printStats(stats)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown table %d (want 1 or 2)\n", *table)
 		os.Exit(2)

@@ -20,11 +20,12 @@ import (
 
 func main() {
 	var (
-		fig   = flag.Int("fig", 6, "figure to regenerate: 1 or 6")
-		wName = flag.String("workload", "W1", "workload for fig 6: W1, W2 or W3")
-		paper = flag.Bool("paper", false, "use the paper's full search budget")
-		seed  = flag.Int64("seed", 1, "random seed")
-		out   = flag.String("out", "", "optional directory for CSV export")
+		fig     = flag.Int("fig", 6, "figure to regenerate: 1 or 6")
+		wName   = flag.String("workload", "W1", "workload for fig 6: W1, W2 or W3")
+		paper   = flag.Bool("paper", false, "use the paper's full search budget")
+		seed    = flag.Int64("seed", 1, "random seed")
+		out     = flag.String("out", "", "optional directory for CSV export")
+		hwcache = flag.Bool("hwcache", true, "memoize hardware evaluations (results are identical either way)")
 	)
 	flag.Parse()
 
@@ -33,6 +34,7 @@ func main() {
 		b = experiments.PaperBudget()
 	}
 	b.Seed = *seed
+	b.DisableHWCache = !*hwcache
 
 	writeCSV := func(name string, header []string, rows [][]string) {
 		if *out == "" {
@@ -86,6 +88,9 @@ func main() {
 			os.Exit(1)
 		}
 		experiments.RenderFig6(os.Stdout, d)
+		st := d.Stats
+		fmt.Printf("evaluator work: %d hardware evaluations for %d requests (%.1f%% cache hits, %d in-batch dedups)\n",
+			st.HWEvals, st.HWRequests, st.HitPct(), st.HWDeduped)
 		h, rows := experiments.PointsCSV(d.Explored, "explored")
 		_, lbRows := experiments.PointsCSV(d.LowerBounds, "lower_bound")
 		_, bestRows := experiments.PointsCSV([]experiments.MetricPoint{d.Best}, "best")

@@ -28,6 +28,7 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "print only the best solution line")
 		optim    = flag.String("optimizer", "rl", "search strategy: rl (the paper's RNN controller) or ea (evolutionary)")
 		trace    = flag.Bool("trace", false, "print the best solution's layer-to-sub-accelerator schedule")
+		hwcache  = flag.Bool("hwcache", true, "memoize hardware evaluations (results are identical either way)")
 	)
 	flag.Parse()
 
@@ -40,6 +41,7 @@ func main() {
 	cfg.Episodes = *episodes
 	cfg.HWSteps = *hwSteps
 	cfg.Seed = *seed
+	cfg.HWCache = *hwcache
 
 	x, err := core.New(w, cfg)
 	if err != nil {
@@ -96,6 +98,12 @@ func main() {
 
 	fmt.Printf("\nexploration: %d feasible solutions, %d episodes pruned, %d trainings, %d hardware evaluations\n",
 		len(res.Explored), res.Pruned, res.Trainings, res.HWEvals)
+	fmt.Printf("hw-eval cache: %d of %d requests served from cache (%.1f%%), %d in-batch dedups\n",
+		res.HWCacheHits, res.HWRequests, res.HWCacheHitPct(), res.HWDeduped)
+	if cs := x.Evaluator().CacheStats(); cs.Requests() > 0 {
+		fmt.Printf("  cache detail: %d resident entries, %d evictions, %d in-flight dedups\n",
+			cs.Size, cs.Evictions, cs.Dedups)
+	}
 	n := *top
 	if n > len(res.Explored) {
 		n = len(res.Explored)

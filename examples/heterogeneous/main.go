@@ -25,12 +25,14 @@ func main() {
 	fmt.Println("Single vs homogeneous vs heterogeneous accelerators on W3")
 	fmt.Println("(CIFAR-10 x2, specs <4e5 cycles, 1e9 nJ, 4e9 um2>)")
 	fmt.Println()
-	rows, err := experiments.Table2(b)
+	rows, stats, err := experiments.Table2(b)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	experiments.RenderTable2(os.Stdout, rows)
+	fmt.Printf("\nevaluator work: %d hardware evaluations for %d requests (%.1f%% cache hits, %d in-batch dedups)\n",
+		stats.HWEvals, stats.HWRequests, stats.HitPct(), stats.HWDeduped)
 
 	fmt.Println()
 	fmt.Println("Reading the table bottom-up: spec-blind NAS reaches the highest")

@@ -1,0 +1,3 @@
+module nasaic
+
+go 1.24

@@ -8,6 +8,7 @@ package accel
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"nasaic/internal/dataflow"
@@ -144,6 +145,31 @@ func (d Design) Area(cfg maestro.Config, bufDemand []int64) float64 {
 		total += cfg.SubAccelArea(s.PEs, s.BW, buf)
 	}
 	return total
+}
+
+// Fingerprint returns a compact canonical identity string for the design,
+// used as the hardware-evaluation cache key (internal/evalcache). Two designs
+// fingerprint equally iff they are semantically identical to the evaluator:
+// every sub-accelerator's ⟨dataflow, PEs, bandwidth⟩ tuple matches in order.
+// Inactive sub-accelerators still contribute (their position affects the HAP
+// buffer-demand layout), so the encoding is position-exact rather than
+// active-set normalized.
+func (d Design) Fingerprint() string {
+	var b strings.Builder
+	// 16 bytes per tuple is enough for "dla:4096:64;" with slack.
+	b.Grow(16 * len(d.Subs))
+	var buf [20]byte
+	for i, s := range d.Subs {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(s.DF.String())
+		b.WriteByte(':')
+		b.Write(strconv.AppendInt(buf[:0], int64(s.PEs), 10))
+		b.WriteByte(':')
+		b.Write(strconv.AppendInt(buf[:0], int64(s.BW), 10))
+	}
+	return b.String()
 }
 
 // String renders all sub-accelerator tuples.

@@ -141,3 +141,60 @@ func TestStrings(t *testing.T) {
 		t.Errorf("design string missing sub-accelerator: %q", d.String())
 	}
 }
+
+func TestFingerprint(t *testing.T) {
+	d := NewDesign(
+		SubAccel{DF: dataflow.NVDLA, PEs: 576, BW: 56},
+		SubAccel{DF: dataflow.Shidiannao, PEs: 0, BW: 8})
+	if got, want := d.Fingerprint(), "dla:576:56;shi:0:8"; got != want {
+		t.Errorf("Fingerprint = %q, want %q", got, want)
+	}
+
+	cases := []struct {
+		name string
+		a, b Design
+		same bool
+	}{
+		{
+			"identical designs",
+			NewDesign(SubAccel{DF: dataflow.NVDLA, PEs: 1024, BW: 32}),
+			NewDesign(SubAccel{DF: dataflow.NVDLA, PEs: 1024, BW: 32}),
+			true,
+		},
+		{
+			"different dataflow",
+			NewDesign(SubAccel{DF: dataflow.NVDLA, PEs: 1024, BW: 32}),
+			NewDesign(SubAccel{DF: dataflow.RowStationary, PEs: 1024, BW: 32}),
+			false,
+		},
+		{
+			"different PEs",
+			NewDesign(SubAccel{DF: dataflow.NVDLA, PEs: 1024, BW: 32}),
+			NewDesign(SubAccel{DF: dataflow.NVDLA, PEs: 1056, BW: 32}),
+			false,
+		},
+		{
+			"sub-accelerator order matters",
+			NewDesign(SubAccel{DF: dataflow.NVDLA, PEs: 1024, BW: 32},
+				SubAccel{DF: dataflow.Shidiannao, PEs: 512, BW: 16}),
+			NewDesign(SubAccel{DF: dataflow.Shidiannao, PEs: 512, BW: 16},
+				SubAccel{DF: dataflow.NVDLA, PEs: 1024, BW: 32}),
+			false,
+		},
+		{
+			// "dla:12;..." vs "dla:1;2..." style ambiguity must not collide.
+			"field boundaries are unambiguous",
+			NewDesign(SubAccel{DF: dataflow.NVDLA, PEs: 12, BW: 1}),
+			NewDesign(SubAccel{DF: dataflow.NVDLA, PEs: 1, BW: 21}),
+			false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fa, fb := tc.a.Fingerprint(), tc.b.Fingerprint()
+			if (fa == fb) != tc.same {
+				t.Errorf("Fingerprint equality = %v (%q vs %q), want %v", fa == fb, fa, fb, tc.same)
+			}
+		})
+	}
+}

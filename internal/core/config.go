@@ -55,6 +55,19 @@ type Config struct {
 	// Refine enables the feasibility-preserving coordinate-descent exploit
 	// phase after the RL loop (see refine.go); ablated in bench_test.go.
 	Refine bool
+	// HWCache routes hardware evaluations (cost model + HAP scheduling)
+	// through the sharded internal/evalcache LRU, extending the paper's
+	// "never re-evaluate what you already know" insight from the accuracy
+	// path to the much hotter mapping-and-scheduling path. Results are
+	// bit-identical with the cache on or off (the evaluation is a pure
+	// function of its inputs); only wall clock and evaluation counts change.
+	HWCache bool
+	// HWCacheCapacity bounds the total resident cache entries (rounded up
+	// to a multiple of the shard count); <=0 selects the evalcache default.
+	HWCacheCapacity int
+	// HWCacheShards sets the cache's lock-sharding factor; <=0 selects the
+	// evalcache default.
+	HWCacheShards int
 
 	Cost maestro.Config
 	HW   accel.Space
@@ -78,6 +91,7 @@ func DefaultConfig() Config {
 		EntropyCoef:  0.015,
 		ReplayCoef:   0.3,
 		Refine:       true,
+		HWCache:      true,
 		Cost:         maestro.DefaultConfig(),
 		HW:           accel.DefaultSpace(),
 	}

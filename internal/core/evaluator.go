@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"nasaic/internal/accel"
 	"nasaic/internal/dnn"
+	"nasaic/internal/evalcache"
 	"nasaic/internal/predictor"
 	"nasaic/internal/sched"
 	"nasaic/internal/stats"
@@ -40,7 +42,9 @@ type HWMetrics struct {
 // Evaluator implements component ③: the mapping-and-scheduling path via the
 // cost model and HAP solver, and the training-and-validating path via the
 // accuracy predictor with memoization (a trained network is never retrained,
-// matching the paper's non-blocking trainer).
+// matching the paper's non-blocking trainer). With Config.HWCache set, the
+// mapping-and-scheduling path is memoized the same way through a sharded
+// LRU keyed by ⟨network signatures, design fingerprint⟩.
 type Evaluator struct {
 	W      workload.Workload
 	Cfg    Config
@@ -49,7 +53,35 @@ type Evaluator struct {
 	mu        sync.Mutex
 	accCache  map[string]float64
 	trainings int
-	hwEvals   int
+
+	// hwCache memoizes the expensive valid-design evaluations; nil when
+	// Config.HWCache is off. Cached HWMetrics are shared between callers
+	// and must be treated as immutable.
+	hwCache *evalcache.Cache[HWMetrics]
+
+	hwRequests stats.Counter // HWEval calls observed (counted requests only)
+	hwComputes stats.Counter // cost-model + HAP computations actually run
+	hwHits     stats.Counter // requests served from cache or in-flight dedup
+}
+
+// EvalStats is a snapshot of the evaluator's work counters.
+type EvalStats struct {
+	// Trainings counts accuracy-predictor trainings (memoized networks are
+	// never retrained).
+	Trainings int
+	// HWRequests counts hardware evaluation requests.
+	HWRequests int
+	// HWEvals counts the cost-model + HAP computations actually performed;
+	// with the cache enabled this is HWRequests minus HWCacheHits minus the
+	// cheap resource-violation short-circuits.
+	HWEvals int
+	// HWCacheHits counts requests served without recomputation.
+	HWCacheHits int
+}
+
+// HitPct returns the percentage of hardware requests served from cache.
+func (s EvalStats) HitPct() float64 {
+	return stats.Pct(int64(s.HWCacheHits), int64(s.HWRequests))
 }
 
 // NewEvaluator builds an evaluator and computes the penalty bounds.
@@ -61,8 +93,27 @@ func NewEvaluator(w workload.Workload, cfg Config) (*Evaluator, error) {
 		return nil, err
 	}
 	e := &Evaluator{W: w, Cfg: cfg, accCache: map[string]float64{}}
+	if cfg.HWCache {
+		e.hwCache = evalcache.New[HWMetrics](evalcache.Options{
+			Capacity: cfg.HWCacheCapacity,
+			Shards:   cfg.HWCacheShards,
+		})
+	}
 	e.Bounds = e.computeBounds()
 	return e, nil
+}
+
+// hwKey builds the canonical cache key of one hardware evaluation: the
+// design fingerprint plus every network's memoization signature (the same
+// identity the accuracy path keys on).
+func hwKey(nets []*dnn.Network, d accel.Design) string {
+	var b strings.Builder
+	b.WriteString(d.Fingerprint())
+	for _, n := range nets {
+		b.WriteByte('|')
+		b.WriteString(n.Signature())
+	}
+	return b.String()
 }
 
 // computeBounds explores the hardware space with the largest architecture of
@@ -142,21 +193,43 @@ func (e *Evaluator) HWEval(nets []*dnn.Network, d accel.Design) HWMetrics {
 
 func (e *Evaluator) hwEval(nets []*dnn.Network, d accel.Design, count bool) HWMetrics {
 	if count {
-		e.mu.Lock()
-		e.hwEvals++
-		e.mu.Unlock()
+		e.hwRequests.Inc()
 	}
 	if d.Validate(e.Cfg.HW.Limits) != nil {
 		// Resource-violating sample: report the bound metrics so the
 		// penalty saturates; the reward then steers the controller back
-		// into the feasible region.
+		// into the feasible region. This path skips the cost model and HAP
+		// entirely, so it is neither cached nor counted as an evaluation.
 		return HWMetrics{
 			Latency:  maxI64(e.Bounds.Latency, 2*e.W.Specs.LatencyCycles),
 			EnergyNJ: maxF(e.Bounds.EnergyNJ, 2*e.W.Specs.EnergyNJ),
 			AreaUM2:  maxF(e.Bounds.AreaUM2, 2*e.W.Specs.AreaUM2),
 		}
 	}
+	if e.hwCache == nil {
+		if count {
+			e.hwComputes.Inc()
+		}
+		return e.hwCompute(nets, d)
+	}
+	m, avoided := e.hwCache.GetOrCompute(hwKey(nets, d), func() HWMetrics {
+		if count {
+			e.hwComputes.Inc()
+		}
+		return e.hwCompute(nets, d)
+	})
+	if avoided && count {
+		e.hwHits.Inc()
+	}
+	return m
+}
 
+// hwCompute runs the uncached mapping-and-scheduling path: build the HAP
+// cost table, solve the assignment, and size buffers and area. It is a pure
+// function of (nets, d) given the evaluator's fixed workload and config,
+// which is what makes the result cacheable and the search bit-deterministic
+// across cache modes and worker counts.
+func (e *Evaluator) hwCompute(nets []*dnn.Network, d accel.Design) HWMetrics {
 	active := d.Active()
 	problem := e.buildProblem(nets, d, active)
 
@@ -284,10 +357,34 @@ func (e *Evaluator) Reward(weighted, penalty float64) float64 {
 }
 
 // Stats returns (trainings performed, hardware evaluations performed).
+// Deprecated-style shim kept for existing callers; EvalStats carries the
+// full counter set including cache effectiveness.
 func (e *Evaluator) Stats() (trainings, hwEvals int) {
+	s := e.EvalStats()
+	return s.Trainings, s.HWEvals
+}
+
+// EvalStats snapshots the evaluator's work counters.
+func (e *Evaluator) EvalStats() EvalStats {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.trainings, e.hwEvals
+	tr := e.trainings
+	e.mu.Unlock()
+	return EvalStats{
+		Trainings:   tr,
+		HWRequests:  int(e.hwRequests.Value()),
+		HWEvals:     int(e.hwComputes.Value()),
+		HWCacheHits: int(e.hwHits.Value()),
+	}
+}
+
+// CacheStats snapshots the hardware-evaluation cache counters (zero when the
+// cache is disabled). Unlike EvalStats, these include the uncounted
+// bound-computation traffic and in-flight dedups.
+func (e *Evaluator) CacheStats() evalcache.Stats {
+	if e.hwCache == nil {
+		return evalcache.Stats{}
+	}
+	return e.hwCache.Stats()
 }
 
 func maxI64(a, b int64) int64 {

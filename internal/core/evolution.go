@@ -225,7 +225,7 @@ func (x *Explorer) RunEvolution(ec EvolutionConfig) *Result {
 		}
 	}
 
-	res.Trainings, res.HWEvals = x.eval.Stats()
+	x.fillEvalStats(res)
 	sort.Slice(res.Explored, func(i, j int) bool {
 		return res.Explored[i].Weighted > res.Explored[j].Weighted
 	})

@@ -57,6 +57,13 @@ type EpisodeStats struct {
 	BestPenalty float64
 	Pruned      bool // early pruning fired: no feasible hardware, training skipped
 	Feasible    bool
+	// HWEvals and HWCacheHits are the episode's deltas of the evaluator's
+	// computation and cache-hit counters; HWDeduped counts candidates the
+	// batch-level dedup collapsed before fan-out. They describe evaluation
+	// cost only — search results are identical whatever their values.
+	HWEvals     int
+	HWCacheHits int
+	HWDeduped   int
 }
 
 // Result is the outcome of one NASAIC exploration.
@@ -70,6 +77,19 @@ type Result struct {
 	Trainings int
 	HWEvals   int
 	Pruned    int
+	// HWRequests counts hardware evaluation requests; HWCacheHits the
+	// requests the evalcache layer served without recomputation; HWDeduped
+	// the identical in-batch candidates collapsed before worker fan-out.
+	// HWEvals above is the computations actually performed.
+	HWRequests  int
+	HWCacheHits int
+	HWDeduped   int
+}
+
+// HWCacheHitPct returns the percentage of hardware requests served from the
+// evaluation cache.
+func (r *Result) HWCacheHitPct() float64 {
+	return stats.Pct(int64(r.HWCacheHits), int64(r.HWRequests))
 }
 
 // Explorer runs the NASAIC search for one workload.
@@ -82,6 +102,7 @@ type Explorer struct {
 	archLen    int   // total architecture decisions (all task segments)
 	taskOffset []int // decision offset of each task segment
 	hwOffset   int   // decision offset of the hardware segments
+	hwDeduped  int   // in-batch duplicate candidates collapsed before fan-out
 }
 
 // New builds an explorer; the controller's decision sequence is the
@@ -204,7 +225,10 @@ func (x *Explorer) Run() *Result {
 		for i := 0; i < x.Cfg.HWSteps; i++ {
 			hwEps = append(hwEps, x.ctrl.SampleForced(archActs))
 		}
+		preEval := x.eval.EvalStats()
+		preDedup := x.hwDeduped
 		metrics := x.parallelHWEval(nets, hwEps)
+		postEval := x.eval.EvalStats()
 
 		// Pick the best hardware among the explored candidates: feasible
 		// first, then lowest penalty, then lowest energy.
@@ -219,7 +243,13 @@ func (x *Explorer) Run() *Result {
 			}
 		}
 
-		st := EpisodeStats{Episode: ep, BestPenalty: bestPen}
+		st := EpisodeStats{
+			Episode:     ep,
+			BestPenalty: bestPen,
+			HWEvals:     postEval.HWEvals - preEval.HWEvals,
+			HWCacheHits: postEval.HWCacheHits - preEval.HWCacheHits,
+			HWDeduped:   x.hwDeduped - preDedup,
+		}
 
 		// ③ Early pruning: when no explored hardware is feasible, skip the
 		// (expensive) training path entirely.
@@ -314,20 +344,51 @@ func (x *Explorer) Run() *Result {
 		}
 	}
 
-	res.Trainings, res.HWEvals = x.eval.Stats()
+	x.fillEvalStats(res)
 	sort.Slice(res.Explored, func(i, j int) bool {
 		return res.Explored[i].Weighted > res.Explored[j].Weighted
 	})
 	return res
 }
 
+// fillEvalStats copies the evaluator's work counters into the result.
+func (x *Explorer) fillEvalStats(res *Result) {
+	s := x.eval.EvalStats()
+	res.Trainings = s.Trainings
+	res.HWEvals = s.HWEvals
+	res.HWRequests = s.HWRequests
+	res.HWCacheHits = s.HWCacheHits
+	res.HWDeduped = x.hwDeduped
+}
+
 // parallelHWEval evaluates the designs of the given episodes concurrently,
-// preserving order.
+// preserving order. Identical designs within the batch — common once the
+// controller's hardware policy starts converging — are collapsed to a single
+// evaluation before fan-out, so a batch of N duplicates costs one HAP solve
+// even with the evaluation cache disabled. The networks are fixed across the
+// batch, so the design fingerprint alone identifies duplicates.
 func (x *Explorer) parallelHWEval(nets []*dnn.Network, eps []*rl.Episode) []HWMetrics {
 	out := make([]HWMetrics, len(eps))
+	designs := make([]accel.Design, len(eps))
+	rep := make([]int, len(eps)) // index of each candidate's representative
+	uniq := make(map[string]int, len(eps))
+	var uniqIdx []int
+	for i := range eps {
+		designs[i] = x.decodeDesign(eps[i].Actions)
+		fp := designs[i].Fingerprint()
+		if j, ok := uniq[fp]; ok {
+			rep[i] = j
+			x.hwDeduped++
+			continue
+		}
+		uniq[fp] = i
+		rep[i] = i
+		uniqIdx = append(uniqIdx, i)
+	}
+
 	workers := x.Cfg.workers()
-	if workers > len(eps) {
-		workers = len(eps)
+	if workers > len(uniqIdx) {
+		workers = len(uniqIdx)
 	}
 	var wg sync.WaitGroup
 	jobs := make(chan int)
@@ -336,14 +397,17 @@ func (x *Explorer) parallelHWEval(nets []*dnn.Network, eps []*rl.Episode) []HWMe
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				out[i] = x.eval.HWEval(nets, x.decodeDesign(eps[i].Actions))
+				out[i] = x.eval.HWEval(nets, designs[i])
 			}
 		}()
 	}
-	for i := range eps {
+	for _, i := range uniqIdx {
 		jobs <- i
 	}
 	close(jobs)
 	wg.Wait()
+	for i := range eps {
+		out[i] = out[rep[i]]
+	}
 	return out
 }

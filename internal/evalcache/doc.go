@@ -1,0 +1,20 @@
+// Package evalcache provides the sharded, concurrency-safe memoization layer
+// for hardware evaluations: a generic string-keyed LRU cache with per-shard
+// locking, hit/miss/eviction counters, and singleflight-style in-flight
+// deduplication so N concurrent misses on the same key cost exactly one
+// computation.
+//
+// The package exists because NASAIC's RL controller resamples overlapping
+// (architecture, accelerator-design) points across thousands of episodes:
+// as the policy converges, most hardware evaluations repeat earlier ones,
+// and the MAESTRO cost model plus HAP scheduling they trigger dominates the
+// search's wall clock. The paper's non-blocking trainer applies "never
+// re-evaluate what you already know" to the accuracy path; this package
+// extends it to the much hotter mapping-and-scheduling path.
+//
+// Values must be deterministic functions of their key and are shared between
+// callers on a hit, so cached values must be treated as immutable. Keys are
+// canonical fingerprints (accel.Design.Fingerprint plus dnn.Network
+// signatures); two semantically identical inputs must produce identical
+// keys for deduplication to fire.
+package evalcache

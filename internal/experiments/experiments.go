@@ -13,6 +13,7 @@ import (
 	"nasaic/internal/dataflow"
 	"nasaic/internal/dnn"
 	"nasaic/internal/predictor"
+	"nasaic/internal/stats"
 	"nasaic/internal/workload"
 )
 
@@ -28,6 +29,10 @@ type Budget struct {
 	HWSamples int
 	// Seed drives every deterministic RNG.
 	Seed int64
+	// DisableHWCache turns off the hardware-evaluation cache (the zero
+	// value keeps it on). Results are bit-identical either way; only wall
+	// clock and the reported evaluation counts change.
+	DisableHWCache bool
 }
 
 // PaperBudget is the full-fidelity configuration of §V-A.
@@ -46,7 +51,33 @@ func (b Budget) config() core.Config {
 	cfg := core.DefaultConfig()
 	cfg.Episodes = b.Episodes
 	cfg.Seed = b.Seed
+	cfg.HWCache = !b.DisableHWCache
 	return cfg
+}
+
+// SearchStats aggregates evaluator work across an experiment's NASAIC runs:
+// how many hardware evaluations were requested, how many actually ran, and
+// how many the evalcache layer or the in-batch dedup absorbed.
+type SearchStats struct {
+	Trainings   int
+	HWRequests  int
+	HWEvals     int
+	HWCacheHits int
+	HWDeduped   int
+}
+
+// HitPct returns the percentage of hardware requests served from cache.
+func (s SearchStats) HitPct() float64 {
+	return stats.Pct(int64(s.HWCacheHits), int64(s.HWRequests))
+}
+
+// add folds one NASAIC run's counters into the aggregate.
+func (s *SearchStats) add(res *core.Result) {
+	s.Trainings += res.Trainings
+	s.HWRequests += res.HWRequests
+	s.HWEvals += res.HWEvals
+	s.HWCacheHits += res.HWCacheHits
+	s.HWDeduped += res.HWDeduped
 }
 
 // archString renders the selected hyperparameter values of a choice vector

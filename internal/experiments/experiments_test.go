@@ -16,7 +16,7 @@ func tinyBudget(seed int64) Budget {
 // other two approaches satisfy them; NASAIC's accuracy beats or matches
 // ASIC→HW-NAS on the weighted metric.
 func TestTable1Shape(t *testing.T) {
-	rows, err := Table1(tinyBudget(1))
+	rows, _, err := Table1(tinyBudget(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +54,7 @@ func TestTable1Shape(t *testing.T) {
 // The Table II shape: NAS violates; the three NASAIC variants satisfy; the
 // heterogeneous design's best network beats the single-accelerator network.
 func TestTable2Shape(t *testing.T) {
-	rows, err := Table2(tinyBudget(1))
+	rows, _, err := Table2(tinyBudget(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +144,7 @@ func TestFig6Shape(t *testing.T) {
 
 func TestRenderers(t *testing.T) {
 	b := tinyBudget(1)
-	rows, err := Table1(Budget{Episodes: 40, MCRuns: 120, NASSamples: 40, HWSamples: 50, Seed: 2})
+	rows, _, err := Table1(Budget{Episodes: 40, MCRuns: 120, NASSamples: 40, HWSamples: 50, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

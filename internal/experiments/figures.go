@@ -121,6 +121,9 @@ type Fig6Data struct {
 	// ParetoIdx indexes the explored solutions that are non-dominated in
 	// (latency, energy, area, −weighted accuracy).
 	ParetoIdx []int
+	// Stats reports the NASAIC run's evaluator work, including hardware-
+	// evaluation cache effectiveness.
+	Stats SearchStats
 }
 
 // Fig6 regenerates one panel of Fig. 6 for the given workload.
@@ -135,6 +138,7 @@ func Fig6(w workload.Workload, b Budget) (*Fig6Data, error) {
 		return nil, fmt.Errorf("experiments: fig 6 %s: no feasible solution", w.Name)
 	}
 	d := &Fig6Data{Workload: w, Pruned: res.Pruned}
+	d.Stats.add(res)
 	var pts []pareto.Point
 	for i, s := range res.Explored {
 		d.Explored = append(d.Explored, toPoint(s.Latency, s.EnergyNJ, s.AreaUM2, s.Weighted, true))

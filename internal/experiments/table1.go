@@ -11,37 +11,41 @@ import (
 )
 
 // Table1 reproduces Table I: on W1 and W2, compare successive NAS→ASIC,
-// ASIC→HW-NAS, and NASAIC under the unified design specs.
-func Table1(b Budget) ([]ApproachResult, error) {
+// ASIC→HW-NAS, and NASAIC under the unified design specs. The returned
+// SearchStats aggregate the NASAIC runs' evaluator work (including
+// hardware-evaluation cache effectiveness) across both workloads.
+func Table1(b Budget) ([]ApproachResult, SearchStats, error) {
 	var out []ApproachResult
+	var stats SearchStats
 	for _, w := range []workload.Workload{workload.W1(), workload.W2()} {
-		rows, err := table1Workload(w, b)
+		rows, st, err := table1Workload(w, b)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: table 1 on %s: %w", w.Name, err)
+			return nil, stats, fmt.Errorf("experiments: table 1 on %s: %w", w.Name, err)
 		}
 		out = append(out, rows...)
+		stats.add(st)
 	}
-	return out, nil
+	return out, stats, nil
 }
 
-func table1Workload(w workload.Workload, b Budget) ([]ApproachResult, error) {
+func table1Workload(w workload.Workload, b Budget) ([]ApproachResult, *core.Result, error) {
 	cfg := b.config()
 
 	nas, err := search.NASToASIC(w, cfg, b.NASSamples, b.HWSamples)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	hwnas, err := search.ASICToHWNAS(w, cfg, b.MCRuns, b.NASSamples*3)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	x, err := core.New(w, cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	res := x.Run()
 	if res.Best == nil {
-		return nil, fmt.Errorf("NASAIC found no feasible solution in %d episodes", cfg.Episodes)
+		return nil, nil, fmt.Errorf("NASAIC found no feasible solution in %d episodes", cfg.Episodes)
 	}
 
 	fromCandidate := func(name string, c search.Candidate) ApproachResult {
@@ -78,7 +82,7 @@ func table1Workload(w workload.Workload, b Budget) ([]ApproachResult, error) {
 		fromCandidate("NAS->ASIC", nas),
 		fromCandidate("ASIC->HW-NAS", hwnas),
 		nasaicRow,
-	}, nil
+	}, res, nil
 }
 
 // RenderTable1 writes the Table I comparison in the paper's layout.

@@ -22,17 +22,21 @@ import (
 //   - Homo. Acc. — NASAIC restricted to one sub-accelerator with half the
 //     PE/bandwidth/area/energy budget, then instantiated twice;
 //   - Hetero. Acc. — full NASAIC on W3 with two sub-accelerators.
-func Table2(b Budget) ([]ApproachResult, error) {
+//
+// The returned SearchStats aggregate the three NASAIC runs' evaluator work
+// (including hardware-evaluation cache effectiveness).
+func Table2(b Budget) ([]ApproachResult, SearchStats, error) {
 	w3 := workload.W3()
 	sp := w3.Specs
 	cfg := b.config()
 
 	var out []ApproachResult
+	var stats SearchStats
 
 	// -- NAS with maximum hardware ------------------------------------------
 	nasRow, err := table2NAS(w3, b)
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
 	out = append(out, nasRow)
 
@@ -44,11 +48,12 @@ func Table2(b Budget) ([]ApproachResult, error) {
 	})
 	singleCfg := cfg
 	singleCfg.HW = singleSubSpace(4096, 64)
-	single, err := runRestricted("Single Acc.", singleW, singleCfg, 1)
+	single, singleRes, err := runRestricted("Single Acc.", singleW, singleCfg, 1)
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
 	out = append(out, single)
+	stats.add(singleRes)
 
 	// -- Homogeneous accelerators -------------------------------------------
 	homoW := singleCIFARWorkload("W3-homo", workload.Specs{
@@ -58,21 +63,23 @@ func Table2(b Budget) ([]ApproachResult, error) {
 	})
 	homoCfg := cfg
 	homoCfg.HW = singleSubSpace(2048, 32)
-	homo, err := runRestricted("Homo. Acc.", homoW, homoCfg, 2)
+	homo, homoRes, err := runRestricted("Homo. Acc.", homoW, homoCfg, 2)
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
 	out = append(out, homo)
+	stats.add(homoRes)
 
 	// -- Heterogeneous accelerators (full NASAIC) ----------------------------
 	x, err := core.New(w3, cfg)
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
 	res := x.Run()
 	if res.Best == nil {
-		return nil, fmt.Errorf("experiments: NASAIC found no feasible W3 solution")
+		return nil, stats, fmt.Errorf("experiments: NASAIC found no feasible W3 solution")
 	}
+	stats.add(res)
 	hetero := ApproachResult{
 		Workload: "W3", Approach: "Hetero. Acc. (NASAIC)",
 		Hardware: res.Best.Design.String(),
@@ -88,7 +95,7 @@ func Table2(b Budget) ([]ApproachResult, error) {
 		})
 	}
 	out = append(out, hetero)
-	return out, nil
+	return out, stats, nil
 }
 
 // table2NAS evaluates the spec-blind NAS row: the best-accuracy architecture
@@ -127,14 +134,14 @@ func table2NAS(w3 workload.Workload, b Budget) (ApproachResult, error) {
 // runRestricted runs NASAIC on a single-task workload with a restricted
 // hardware space and reports the result scaled by `copies` accelerator
 // instances (Homo. Acc. duplicates the found design).
-func runRestricted(name string, w workload.Workload, cfg core.Config, copies int) (ApproachResult, error) {
+func runRestricted(name string, w workload.Workload, cfg core.Config, copies int) (ApproachResult, *core.Result, error) {
 	x, err := core.New(w, cfg)
 	if err != nil {
-		return ApproachResult{}, err
+		return ApproachResult{}, nil, err
 	}
 	res := x.Run()
 	if res.Best == nil {
-		return ApproachResult{}, fmt.Errorf("experiments: %s search found no feasible solution", name)
+		return ApproachResult{}, nil, fmt.Errorf("experiments: %s search found no feasible solution", name)
 	}
 	hwStr := res.Best.Design.String()
 	lat := res.Best.Latency
@@ -162,7 +169,7 @@ func runRestricted(name string, w workload.Workload, cfg core.Config, copies int
 		Dataset: "CIFAR-10", Metric: "accuracy",
 		Arch: arch, Accuracy: res.Best.Accuracies[0],
 	})
-	return ar, nil
+	return ar, res, nil
 }
 
 // RenderTable2 writes the Table II comparison.

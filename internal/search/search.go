@@ -218,6 +218,10 @@ type MonteCarloResult struct {
 	// ClosestToSpec is the feasible point minimizing the normalized
 	// distance to the spec corner (Fig. 1's heuristic square).
 	ClosestToSpec *Candidate
+	// Stats reports the evaluator work the search performed, including
+	// hardware-evaluation cache effectiveness (random co-sampling rarely
+	// repeats points, so its hit rate lower-bounds every other approach).
+	Stats core.EvalStats
 }
 
 // MonteCarlo co-samples runs random (architectures, design) pairs.
@@ -256,5 +260,6 @@ func MonteCarlo(w workload.Workload, cfg core.Config, runs int) (*MonteCarloResu
 			res.ClosestToSpec = &cc
 		}
 	}
+	res.Stats = e.EvalStats()
 	return res, nil
 }

@@ -1,0 +1,29 @@
+package stats
+
+import "sync/atomic"
+
+// Counter is a lock-free monotonically adjustable event counter, safe for
+// concurrent use. The zero value is ready to use. It backs the hot-path
+// telemetry (cache hits, hardware evaluations) where a mutex per increment
+// would serialize the worker pool.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one and returns the new value.
+func (c *Counter) Inc() int64 { return c.v.Add(1) }
+
+// Add adds n (which may be negative) and returns the new value.
+func (c *Counter) Add(n int64) int64 { return c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Pct returns 100*part/total, or 0 when total is 0. It is the single
+// definition of "hit percentage" shared by every cache/evaluator stats type.
+func Pct(part, total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(total)
+}

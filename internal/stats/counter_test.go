@@ -1,0 +1,41 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatalf("zero value = %d, want 0", c.Value())
+	}
+	if got := c.Inc(); got != 1 {
+		t.Errorf("Inc = %d, want 1", got)
+	}
+	if got := c.Add(5); got != 6 {
+		t.Errorf("Add(5) = %d, want 6", got)
+	}
+	if got := c.Add(-2); got != 4 {
+		t.Errorf("Add(-2) = %d, want 4", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	const goroutines, iters = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*iters {
+		t.Errorf("Value = %d, want %d", got, goroutines*iters)
+	}
+}
