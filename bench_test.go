@@ -36,11 +36,14 @@ var (
 
 // reportSearchStats attaches the hardware-evaluation cache metrics of a
 // table/figure regeneration: how many cost-model + HAP computations actually
-// ran (hw_evals) and what share of requests the evalcache layer absorbed
-// (hw_cache_hit_pct). See EXPERIMENTS.md for how to read them.
+// ran (hw_evals), what share of requests the evalcache layer absorbed
+// (hw_cache_hit_pct), and what share of the remaining cost-model traffic the
+// evaluator's per-layer memo served (layer_cost_hit_pct). See EXPERIMENTS.md
+// for how to read them.
 func reportSearchStats(b *testing.B, st experiments.SearchStats) {
 	b.ReportMetric(float64(st.HWEvals), "hw_evals")
 	b.ReportMetric(st.HitPct(), "hw_cache_hit_pct")
+	b.ReportMetric(st.LayerHitPct(), "layer_cost_hit_pct")
 }
 
 // BenchmarkTable1 regenerates Table I: NAS→ASIC vs ASIC→HW-NAS vs NASAIC on

@@ -37,6 +37,8 @@ func main() {
 	printStats := func(stats experiments.SearchStats) {
 		fmt.Printf("\nNASAIC evaluator work: %d hardware evaluations for %d requests (%.1f%% cache hits, %d in-batch dedups), %d trainings\n",
 			stats.HWEvals, stats.HWRequests, stats.HitPct(), stats.HWDeduped, stats.Trainings)
+		fmt.Printf("layer-cost memo: %d of %d cost-model queries served (%.1f%%)\n",
+			stats.LayerCostHits, stats.LayerCostRequests, stats.LayerHitPct())
 	}
 
 	switch *table {

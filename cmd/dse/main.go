@@ -15,19 +15,37 @@ import (
 
 	"nasaic/internal/experiments"
 	"nasaic/internal/export"
+	"nasaic/internal/profiling"
 	"nasaic/internal/workload"
 )
 
 func main() {
 	var (
-		fig     = flag.Int("fig", 6, "figure to regenerate: 1 or 6")
-		wName   = flag.String("workload", "W1", "workload for fig 6: W1, W2 or W3")
-		paper   = flag.Bool("paper", false, "use the paper's full search budget")
-		seed    = flag.Int64("seed", 1, "random seed")
-		out     = flag.String("out", "", "optional directory for CSV export")
-		hwcache = flag.Bool("hwcache", true, "memoize hardware evaluations (results are identical either way)")
+		fig        = flag.Int("fig", 6, "figure to regenerate: 1 or 6")
+		wName      = flag.String("workload", "W1", "workload for fig 6: W1, W2 or W3")
+		paper      = flag.Bool("paper", false, "use the paper's full search budget")
+		seed       = flag.Int64("seed", 1, "random seed")
+		out        = flag.String("out", "", "optional directory for CSV export")
+		hwcache    = flag.Bool("hwcache", true, "memoize hardware evaluations (results are identical either way)")
+		layermemo  = flag.Bool("layermemo", true, "memoize per-layer cost-model queries (results are identical either way)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the regeneration to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProf()
+	// fail flushes the profiles before exiting: os.Exit skips deferred calls,
+	// and an unterminated CPU profile is unreadable.
+	fail := func(code int, msg any) {
+		fmt.Fprintln(os.Stderr, msg)
+		stopProf()
+		os.Exit(code)
+	}
 
 	b := experiments.QuickBudget()
 	if *paper {
@@ -35,25 +53,23 @@ func main() {
 	}
 	b.Seed = *seed
 	b.DisableHWCache = !*hwcache
+	b.DisableLayerMemo = !*layermemo
 
 	writeCSV := func(name string, header []string, rows [][]string) {
 		if *out == "" {
 			return
 		}
 		if err := os.MkdirAll(*out, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(1, err)
 		}
 		path := filepath.Join(*out, name)
 		f, err := os.Create(path)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(1, err)
 		}
 		defer f.Close()
 		if err := export.CSV(f, header, rows); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(1, err)
 		}
 		fmt.Printf("wrote %s\n", path)
 	}
@@ -62,8 +78,7 @@ func main() {
 	case 1:
 		d, err := experiments.Fig1(b)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(1, err)
 		}
 		experiments.RenderFig1(os.Stdout, d)
 		h, rows := experiments.PointsCSV(d.NASASIC, "nas_asic")
@@ -79,18 +94,18 @@ func main() {
 	case 6:
 		w, err := workload.ByName(*wName)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fail(2, err)
 		}
 		d, err := experiments.Fig6(w, b)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(1, err)
 		}
 		experiments.RenderFig6(os.Stdout, d)
 		st := d.Stats
 		fmt.Printf("evaluator work: %d hardware evaluations for %d requests (%.1f%% cache hits, %d in-batch dedups)\n",
 			st.HWEvals, st.HWRequests, st.HitPct(), st.HWDeduped)
+		fmt.Printf("layer-cost memo: %d of %d cost-model queries served (%.1f%%)\n",
+			st.LayerCostHits, st.LayerCostRequests, st.LayerHitPct())
 		h, rows := experiments.PointsCSV(d.Explored, "explored")
 		_, lbRows := experiments.PointsCSV(d.LowerBounds, "lower_bound")
 		_, bestRows := experiments.PointsCSV([]experiments.MetricPoint{d.Best}, "best")
@@ -98,7 +113,6 @@ func main() {
 		rows = append(rows, bestRows...)
 		writeCSV(fmt.Sprintf("fig6_%s.csv", w.Name), h, rows)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown figure %d (want 1 or 6)\n", *fig)
-		os.Exit(2)
+		fail(2, fmt.Sprintf("unknown figure %d (want 1 or 6)", *fig))
 	}
 }

@@ -14,39 +14,56 @@ import (
 
 	"nasaic/internal/core"
 	"nasaic/internal/export"
+	"nasaic/internal/profiling"
 	"nasaic/internal/sched"
 	"nasaic/internal/workload"
 )
 
 func main() {
 	var (
-		wName    = flag.String("workload", "W1", "workload to explore: W1 (CIFAR-10+Nuclei), W2 (CIFAR-10+STL-10), W3 (CIFAR-10 x2)")
-		episodes = flag.Int("episodes", 500, "exploration episodes (beta in the paper)")
-		hwSteps  = flag.Int("hw-steps", 10, "hardware-only steps per episode (phi)")
-		seed     = flag.Int64("seed", 1, "random seed (runs are deterministic per seed)")
-		top      = flag.Int("top", 5, "how many explored solutions to print")
-		quiet    = flag.Bool("quiet", false, "print only the best solution line")
-		optim    = flag.String("optimizer", "rl", "search strategy: rl (the paper's RNN controller) or ea (evolutionary)")
-		trace    = flag.Bool("trace", false, "print the best solution's layer-to-sub-accelerator schedule")
-		hwcache  = flag.Bool("hwcache", true, "memoize hardware evaluations (results are identical either way)")
+		wName      = flag.String("workload", "W1", "workload to explore: W1 (CIFAR-10+Nuclei), W2 (CIFAR-10+STL-10), W3 (CIFAR-10 x2)")
+		episodes   = flag.Int("episodes", 500, "exploration episodes (beta in the paper)")
+		hwSteps    = flag.Int("hw-steps", 10, "hardware-only steps per episode (phi)")
+		seed       = flag.Int64("seed", 1, "random seed (runs are deterministic per seed)")
+		top        = flag.Int("top", 5, "how many explored solutions to print")
+		quiet      = flag.Bool("quiet", false, "print only the best solution line")
+		optim      = flag.String("optimizer", "rl", "search strategy: rl (the paper's RNN controller) or ea (evolutionary)")
+		trace      = flag.Bool("trace", false, "print the best solution's layer-to-sub-accelerator schedule")
+		hwcache    = flag.Bool("hwcache", true, "memoize hardware evaluations (results are identical either way)")
+		layermemo  = flag.Bool("layermemo", true, "memoize per-layer cost-model queries (results are identical either way)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the search to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
-	w, err := workload.ByName(*wName)
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		os.Exit(1)
+	}
+	defer stopProf()
+	// fail flushes the profiles before exiting: os.Exit skips deferred calls,
+	// and an unterminated CPU profile is unreadable.
+	fail := func(code int, msg any) {
+		fmt.Fprintln(os.Stderr, msg)
+		stopProf()
+		os.Exit(code)
+	}
+
+	w, err := workload.ByName(*wName)
+	if err != nil {
+		fail(2, err)
 	}
 	cfg := core.DefaultConfig()
 	cfg.Episodes = *episodes
 	cfg.HWSteps = *hwSteps
 	cfg.Seed = *seed
 	cfg.HWCache = *hwcache
+	cfg.LayerCostMemo = *layermemo
 
 	x, err := core.New(w, cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(1, err)
 	}
 	if !*quiet {
 		fmt.Printf("NASAIC co-exploration on %s  specs=%s  episodes=%d  phi=%d  seed=%d  optimizer=%s\n",
@@ -65,11 +82,11 @@ func main() {
 		}
 		res = x.RunEvolution(ec)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown optimizer %q (want rl or ea)\n", *optim)
-		os.Exit(2)
+		fail(2, fmt.Sprintf("unknown optimizer %q (want rl or ea)", *optim))
 	}
 	if res.Best == nil {
 		fmt.Printf("no feasible solution found in %d episodes (pruned %d)\n", cfg.Episodes, res.Pruned)
+		stopProf()
 		os.Exit(1)
 	}
 
@@ -86,8 +103,7 @@ func main() {
 	if *trace {
 		problem, _, placements, err := x.Evaluator().Schedule(best.Networks, best.Design)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(1, err)
 		}
 		fmt.Println()
 		sched.RenderGantt(os.Stdout, problem, placements, 96)
@@ -100,6 +116,8 @@ func main() {
 		len(res.Explored), res.Pruned, res.Trainings, res.HWEvals)
 	fmt.Printf("hw-eval cache: %d of %d requests served from cache (%.1f%%), %d in-batch dedups\n",
 		res.HWCacheHits, res.HWRequests, res.HWCacheHitPct(), res.HWDeduped)
+	fmt.Printf("layer-cost memo: %d of %d cost-model queries served from memo (%.1f%%)\n",
+		res.LayerCostHits, res.LayerCostRequests, res.LayerCostHitPct())
 	if cs := x.Evaluator().CacheStats(); cs.Requests() > 0 {
 		fmt.Printf("  cache detail: %d resident entries, %d evictions, %d in-flight dedups\n",
 			cs.Size, cs.Evictions, cs.Dedups)

@@ -68,6 +68,13 @@ type Config struct {
 	// HWCacheShards sets the cache's lock-sharding factor; <=0 selects the
 	// evalcache default.
 	HWCacheShards int
+	// LayerCostMemo memoizes the MAESTRO cost model per ⟨layer shape,
+	// dataflow style, PEs, BW⟩ under the HWCache layer, so designs that
+	// reuse a sub-accelerator configuration skip the cost model even when
+	// the full design fingerprint is new. The memoized function is pure, so
+	// results are bit-identical either way; the key space is bounded by the
+	// workload's layer shapes times the hardware option grid.
+	LayerCostMemo bool
 
 	Cost maestro.Config
 	HW   accel.Space
@@ -76,24 +83,25 @@ type Config struct {
 // DefaultConfig returns the paper's settings (§V-A).
 func DefaultConfig() Config {
 	return Config{
-		Episodes:     500,
-		HWSteps:      10,
-		Rho:          10,
-		Gamma:        1.0,
-		Hidden:       48,
-		Seed:         1,
-		Workers:      0,
-		TrainEpochs:  30,
-		LR:           0.03,
-		LRDecay:      0.5,
-		LRDecaySteps: 40,
-		Batch:        5,
-		EntropyCoef:  0.015,
-		ReplayCoef:   0.3,
-		Refine:       true,
-		HWCache:      true,
-		Cost:         maestro.DefaultConfig(),
-		HW:           accel.DefaultSpace(),
+		Episodes:      500,
+		HWSteps:       10,
+		Rho:           10,
+		Gamma:         1.0,
+		Hidden:        48,
+		Seed:          1,
+		Workers:       0,
+		TrainEpochs:   30,
+		LR:            0.03,
+		LRDecay:       0.5,
+		LRDecaySteps:  40,
+		Batch:         5,
+		EntropyCoef:   0.015,
+		ReplayCoef:    0.3,
+		Refine:        true,
+		HWCache:       true,
+		LayerCostMemo: true,
+		Cost:          maestro.DefaultConfig(),
+		HW:            accel.DefaultSpace(),
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"nasaic/internal/accel"
 	"nasaic/internal/dnn"
 	"nasaic/internal/evalcache"
+	"nasaic/internal/maestro"
 	"nasaic/internal/predictor"
 	"nasaic/internal/sched"
 	"nasaic/internal/stats"
@@ -62,6 +63,16 @@ type Evaluator struct {
 	hwRequests stats.Counter // HWEval calls observed (counted requests only)
 	hwComputes stats.Counter // cost-model + HAP computations actually run
 	hwHits     stats.Counter // requests served from cache or in-flight dedup
+
+	// layerMemo memoizes the MAESTRO cost model per maestro.CostKey when
+	// Cfg.LayerCostMemo is set. A sync.Map fits the access pattern exactly:
+	// the key space is small and write-once (bounded by the workload's layer
+	// shapes times the hardware option grid), so steady-state lookups are
+	// lock-free reads shared by all evaluation workers. Duplicate computes
+	// during warm-up are harmless — the function is pure.
+	layerReqs stats.Counter // requests observed by the layer-cost memo
+	layerHits stats.Counter // requests served from the memo
+	layerMap  sync.Map      // maestro.CostKey -> maestro.LayerCost
 }
 
 // EvalStats is a snapshot of the evaluator's work counters.
@@ -77,11 +88,23 @@ type EvalStats struct {
 	HWEvals int
 	// HWCacheHits counts requests served without recomputation.
 	HWCacheHits int
+	// LayerCostRequests counts cost-model queries seen by the per-layer
+	// memo under buildProblem; LayerCostHits counts the queries it served
+	// without running the MAESTRO model. Zero when Config.LayerCostMemo is
+	// off (uncounted queries go straight to the model).
+	LayerCostRequests int
+	LayerCostHits     int
 }
 
 // HitPct returns the percentage of hardware requests served from cache.
 func (s EvalStats) HitPct() float64 {
 	return stats.Pct(int64(s.HWCacheHits), int64(s.HWRequests))
+}
+
+// LayerHitPct returns the percentage of cost-model queries served by the
+// per-layer memo.
+func (s EvalStats) LayerHitPct() float64 {
+	return stats.Pct(int64(s.LayerCostHits), int64(s.LayerCostRequests))
 }
 
 // NewEvaluator builds an evaluator and computes the penalty bounds.
@@ -257,6 +280,25 @@ func (e *Evaluator) hwCompute(nets []*dnn.Network, d accel.Design) HWMetrics {
 	}
 }
 
+// layerCost evaluates the cost model for one (layer, sub-accelerator) pair
+// through the per-layer memo: repeated sub-accelerator configurations across
+// designs skip the MAESTRO model entirely. LayerCost is pure, so memoized
+// results are bit-identical to recomputation.
+func (e *Evaluator) layerCost(l dnn.Layer, sub accel.SubAccel) maestro.LayerCost {
+	if !e.Cfg.LayerCostMemo {
+		return e.Cfg.Cost.LayerCost(l, sub.DF, sub.PEs, sub.BW)
+	}
+	e.layerReqs.Inc()
+	key := maestro.NewCostKey(l, sub.DF, sub.PEs, sub.BW)
+	if v, ok := e.layerMap.Load(key); ok {
+		e.layerHits.Inc()
+		return v.(maestro.LayerCost)
+	}
+	lc := e.Cfg.Cost.LayerCost(l, sub.DF, sub.PEs, sub.BW)
+	e.layerMap.Store(key, lc)
+	return lc
+}
+
 // buildProblem assembles the HAP cost table for the given networks on the
 // design's active sub-accelerators.
 func (e *Evaluator) buildProblem(nets []*dnn.Network, d accel.Design, active []int) sched.Problem {
@@ -269,8 +311,7 @@ func (e *Evaluator) buildProblem(nets []*dnn.Network, d accel.Design, active []i
 		for _, l := range n.ComputeLayers() {
 			sl := sched.Layer{Name: l.Name, Options: make([]sched.Option, len(active))}
 			for ai, di := range active {
-				sub := d.Subs[di]
-				lc := e.Cfg.Cost.LayerCost(l, sub.DF, sub.PEs, sub.BW)
+				lc := e.layerCost(l, d.Subs[di])
 				sl.Options[ai] = sched.Option{
 					Cycles:      lc.Cycles,
 					EnergyNJ:    lc.EnergyNJ,
@@ -370,10 +411,12 @@ func (e *Evaluator) EvalStats() EvalStats {
 	tr := e.trainings
 	e.mu.Unlock()
 	return EvalStats{
-		Trainings:   tr,
-		HWRequests:  int(e.hwRequests.Value()),
-		HWEvals:     int(e.hwComputes.Value()),
-		HWCacheHits: int(e.hwHits.Value()),
+		Trainings:         tr,
+		HWRequests:        int(e.hwRequests.Value()),
+		HWEvals:           int(e.hwComputes.Value()),
+		HWCacheHits:       int(e.hwHits.Value()),
+		LayerCostRequests: int(e.layerReqs.Value()),
+		LayerCostHits:     int(e.layerHits.Value()),
 	}
 }
 

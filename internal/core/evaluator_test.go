@@ -253,3 +253,60 @@ func TestScheduleUsesHeterogeneousSubAccelerators(t *testing.T) {
 		t.Errorf("heterogeneous design uses %d sub-accelerators, want 2", len(used))
 	}
 }
+
+// TestLayerCostMemoBitIdentical: the per-layer cost memo must not change any
+// hardware metric — it memoizes a pure function — and its hit counters must
+// reflect the reuse across designs that share sub-accelerator configs.
+func TestLayerCostMemoBitIdentical(t *testing.T) {
+	w := workload.W1()
+	nets := midNetworks(t, w)
+
+	cfgOn := DefaultConfig()
+	cfgOn.Seed = 3
+	cfgOff := cfgOn
+	cfgOff.LayerCostMemo = false
+	on, err := NewEvaluator(w, cfgOn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := NewEvaluator(w, cfgOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	designs := []accel.Design{
+		accel.NewDesign(
+			accel.SubAccel{DF: dataflow.NVDLA, PEs: 1024, BW: 32},
+			accel.SubAccel{DF: dataflow.Shidiannao, PEs: 512, BW: 16}),
+		// Same sub-accelerator configs in a different pairing: every
+		// cost-model query is a repeat for the memo.
+		accel.NewDesign(
+			accel.SubAccel{DF: dataflow.NVDLA, PEs: 1024, BW: 32},
+			accel.SubAccel{DF: dataflow.NVDLA, PEs: 1024, BW: 32}),
+		accel.NewDesign(
+			accel.SubAccel{DF: dataflow.Shidiannao, PEs: 512, BW: 16},
+			accel.SubAccel{DF: dataflow.RowStationary, PEs: 256, BW: 8}),
+	}
+	for i, d := range designs {
+		a := on.HWEval(nets, d)
+		b := off.HWEval(nets, d)
+		if a.Latency != b.Latency || a.EnergyNJ != b.EnergyNJ || a.AreaUM2 != b.AreaUM2 {
+			t.Fatalf("design %d: memoized metrics (%d, %g, %g) != unmemoized (%d, %g, %g)",
+				i, a.Latency, a.EnergyNJ, a.AreaUM2, b.Latency, b.EnergyNJ, b.AreaUM2)
+		}
+	}
+
+	sOn, sOff := on.EvalStats(), off.EvalStats()
+	if sOn.LayerCostRequests == 0 || sOn.LayerCostHits == 0 {
+		t.Errorf("memo saw no traffic: %+v", sOn)
+	}
+	if sOn.LayerCostHits >= sOn.LayerCostRequests {
+		t.Errorf("memo hits %d should be below requests %d", sOn.LayerCostHits, sOn.LayerCostRequests)
+	}
+	if sOff.LayerCostRequests != 0 || sOff.LayerCostHits != 0 {
+		t.Errorf("disabled memo must not count traffic: %+v", sOff)
+	}
+	if sOn.LayerHitPct() <= 0 {
+		t.Errorf("LayerHitPct = %f, want > 0", sOn.LayerHitPct())
+	}
+}

@@ -84,12 +84,23 @@ type Result struct {
 	HWRequests  int
 	HWCacheHits int
 	HWDeduped   int
+	// LayerCostRequests counts cost-model queries seen by the evaluator's
+	// per-layer memo; LayerCostHits the queries it served without running
+	// the MAESTRO model (see Config.LayerCostMemo).
+	LayerCostRequests int
+	LayerCostHits     int
 }
 
 // HWCacheHitPct returns the percentage of hardware requests served from the
 // evaluation cache.
 func (r *Result) HWCacheHitPct() float64 {
 	return stats.Pct(int64(r.HWCacheHits), int64(r.HWRequests))
+}
+
+// LayerCostHitPct returns the percentage of cost-model queries served by the
+// per-layer memo.
+func (r *Result) LayerCostHitPct() float64 {
+	return stats.Pct(int64(r.LayerCostHits), int64(r.LayerCostRequests))
 }
 
 // Explorer runs the NASAIC search for one workload.
@@ -359,6 +370,8 @@ func (x *Explorer) fillEvalStats(res *Result) {
 	res.HWRequests = s.HWRequests
 	res.HWCacheHits = s.HWCacheHits
 	res.HWDeduped = x.hwDeduped
+	res.LayerCostRequests = s.LayerCostRequests
+	res.LayerCostHits = s.LayerCostHits
 }
 
 // parallelHWEval evaluates the designs of the given episodes concurrently,

@@ -33,6 +33,10 @@ type Budget struct {
 	// value keeps it on). Results are bit-identical either way; only wall
 	// clock and the reported evaluation counts change.
 	DisableHWCache bool
+	// DisableLayerMemo turns off the evaluator's per-layer cost-model memo
+	// (the zero value keeps it on). As with the cache, results are
+	// bit-identical either way.
+	DisableLayerMemo bool
 }
 
 // PaperBudget is the full-fidelity configuration of §V-A.
@@ -52,23 +56,33 @@ func (b Budget) config() core.Config {
 	cfg.Episodes = b.Episodes
 	cfg.Seed = b.Seed
 	cfg.HWCache = !b.DisableHWCache
+	cfg.LayerCostMemo = !b.DisableLayerMemo
 	return cfg
 }
 
 // SearchStats aggregates evaluator work across an experiment's NASAIC runs:
-// how many hardware evaluations were requested, how many actually ran, and
-// how many the evalcache layer or the in-batch dedup absorbed.
+// how many hardware evaluations were requested, how many actually ran, how
+// many the evalcache layer or the in-batch dedup absorbed, and how much of
+// the cost-model traffic the per-layer memo served.
 type SearchStats struct {
-	Trainings   int
-	HWRequests  int
-	HWEvals     int
-	HWCacheHits int
-	HWDeduped   int
+	Trainings         int
+	HWRequests        int
+	HWEvals           int
+	HWCacheHits       int
+	HWDeduped         int
+	LayerCostRequests int
+	LayerCostHits     int
 }
 
 // HitPct returns the percentage of hardware requests served from cache.
 func (s SearchStats) HitPct() float64 {
 	return stats.Pct(int64(s.HWCacheHits), int64(s.HWRequests))
+}
+
+// LayerHitPct returns the percentage of cost-model queries served by the
+// evaluator's per-layer memo.
+func (s SearchStats) LayerHitPct() float64 {
+	return stats.Pct(int64(s.LayerCostHits), int64(s.LayerCostRequests))
 }
 
 // add folds one NASAIC run's counters into the aggregate.
@@ -78,6 +92,8 @@ func (s *SearchStats) add(res *core.Result) {
 	s.HWEvals += res.HWEvals
 	s.HWCacheHits += res.HWCacheHits
 	s.HWDeduped += res.HWDeduped
+	s.LayerCostRequests += res.LayerCostRequests
+	s.LayerCostHits += res.LayerCostHits
 }
 
 // archString renders the selected hyperparameter values of a choice vector

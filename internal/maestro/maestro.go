@@ -128,6 +128,25 @@ func (c Config) LayerCost(l dnn.Layer, style dataflow.Style, pes, bwGBs int) Lay
 	}
 }
 
+// CostKey is the complete identity of one LayerCost computation: the layer's
+// shape (name cleared — cost depends only on dimensions) plus the
+// sub-accelerator configuration. Two calls with equal keys return equal
+// costs, which is what makes LayerCost memoizable; the key is a comparable
+// struct so it can index a map directly, with no string building on the hot
+// path.
+type CostKey struct {
+	Layer dnn.Layer
+	Style dataflow.Style
+	PEs   int
+	BW    int
+}
+
+// NewCostKey builds the memoization key for LayerCost(l, style, pes, bwGBs).
+func NewCostKey(l dnn.Layer, style dataflow.Style, pes, bwGBs int) CostKey {
+	l.Name = "" // cost is independent of the layer's name
+	return CostKey{Layer: l, Style: style, PEs: pes, BW: bwGBs}
+}
+
 // EnergyBreakdown decomposes a layer's energy (nJ) by memory-hierarchy
 // level. The components sum exactly to LayerCost().EnergyNJ; the DSE reports
 // and the quickstart example use it to show where a dataflow's energy goes.

@@ -194,3 +194,24 @@ func TestEnergyBreakdownReuseShift(t *testing.T) {
 			poorRatio, richRatio)
 	}
 }
+
+func TestCostKeyIdentity(t *testing.T) {
+	l := testLayer()
+	a := NewCostKey(l, dataflow.NVDLA, 512, 32)
+	renamed := l
+	renamed.Name = "other"
+	if b := NewCostKey(renamed, dataflow.NVDLA, 512, 32); a != b {
+		t.Error("cost key should ignore the layer name")
+	}
+	if c := NewCostKey(l, dataflow.Shidiannao, 512, 32); a == c {
+		t.Error("cost key must distinguish dataflow styles")
+	}
+	reshaped := l
+	reshaped.K++
+	if d := NewCostKey(reshaped, dataflow.NVDLA, 512, 32); a == d {
+		t.Error("cost key must distinguish layer shapes")
+	}
+	if e := NewCostKey(l, dataflow.NVDLA, 1024, 32); a == e {
+		t.Error("cost key must distinguish PE counts")
+	}
+}

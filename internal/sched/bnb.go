@@ -90,6 +90,7 @@ func BranchAndBound(p Problem, nodeBudget int) (Result, bool, error) {
 		chainLoad   = make([]int64, len(p.Chains))
 		accelLoad   = make([]int64, p.NumAccels)
 		energySoFar float64
+		ev          = newEvaluator(&p) // validated once above; leaves run unchecked
 	)
 
 	var dfs func(depth int)
@@ -100,17 +101,15 @@ func BranchAndBound(p Problem, nodeBudget int) (Result, bool, error) {
 		}
 		nodes++
 		if depth == n {
-			res, err := Evaluate(p, a)
-			if err != nil {
-				return
-			}
-			if res.Feasible && (!haveBest || res.EnergyNJ < best.EnergyNJ) {
-				best = res.clone2()
+			ev.run(a, nil)
+			mk, en := ev.makespan, ev.energy
+			if mk <= p.Deadline && (!haveBest || en < best.EnergyNJ) {
+				best = ev.result(a)
 				haveBest = true
 			}
-			if res.Makespan < bestAnyMk {
-				bestAnyMk = res.Makespan
-				bestAny = res.clone2()
+			if mk < bestAnyMk {
+				bestAnyMk = mk
+				bestAny = ev.result(a)
 				haveAny = true
 			}
 			return

@@ -1,0 +1,234 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"nasaic/internal/stats"
+)
+
+// randomProblem generates a HAP instance. scale multiplies the energies so
+// the float-margin arguments get exercised at paper-like magnitudes (~1e8 nJ
+// per layer), not just at toy scale.
+func randomProblem(rng *stats.RNG, maxChains, maxLayers, numAccels int, scale float64) Problem {
+	p := Problem{NumAccels: numAccels}
+	nChains := 1 + rng.Intn(maxChains)
+	for c := 0; c < nChains; c++ {
+		ch := Chain{Name: fmt.Sprintf("c%d", c)}
+		nl := 1 + rng.Intn(maxLayers)
+		for l := 0; l < nl; l++ {
+			layer := Layer{Name: fmt.Sprintf("c%d_l%d", c, l)}
+			for j := 0; j < numAccels; j++ {
+				layer.Options = append(layer.Options, Option{
+					Cycles:      int64(1 + rng.Intn(60)),
+					EnergyNJ:    (1 + 10*rng.Float64()) * scale,
+					BufferBytes: int64(rng.Intn(4096)),
+				})
+			}
+			ch.Layers = append(ch.Layers, layer)
+		}
+		p.Chains = append(p.Chains, ch)
+	}
+	// Mix of unmeetable, tight and loose deadlines so both heuristic phases
+	// and the exhaustive fallback path get exercised.
+	p.Deadline = int64(5 + rng.Intn(60*p.Size()/2+1))
+	return p
+}
+
+// mustEqualResults enforces the bit-identity contract: same assignment, same
+// integer makespan, bit-identical float energy, same buffer demand and
+// feasibility.
+func mustEqualResults(t *testing.T, label string, got, want Result) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Assign, want.Assign) {
+		t.Fatalf("%s: assignment diverged\n got %v\nwant %v", label, got.Assign, want.Assign)
+	}
+	if got.Makespan != want.Makespan {
+		t.Fatalf("%s: makespan %d != reference %d", label, got.Makespan, want.Makespan)
+	}
+	if math.Float64bits(got.EnergyNJ) != math.Float64bits(want.EnergyNJ) {
+		t.Fatalf("%s: energy %v not bit-identical to reference %v (diff %g)",
+			label, got.EnergyNJ, want.EnergyNJ, got.EnergyNJ-want.EnergyNJ)
+	}
+	if !reflect.DeepEqual(got.BufferDemand, want.BufferDemand) {
+		t.Fatalf("%s: buffer demand %v != reference %v", label, got.BufferDemand, want.BufferDemand)
+	}
+	if got.Feasible != want.Feasible {
+		t.Fatalf("%s: feasible %v != reference %v", label, got.Feasible, want.Feasible)
+	}
+}
+
+// TestDifferentialEvaluate drives the heap simulator against the original
+// O(chains) scan on random instances and random assignments.
+func TestDifferentialEvaluate(t *testing.T) {
+	rng := stats.NewRNG(101)
+	for trial := 0; trial < 400; trial++ {
+		scale := 1.0
+		if trial%3 == 0 {
+			scale = 1e8
+		}
+		p := randomProblem(rng, 4, 8, 1+rng.Intn(4), scale)
+		a := make(Assignment, len(p.Chains))
+		for ci, c := range p.Chains {
+			a[ci] = make([]int, len(c.Layers))
+			for li := range c.Layers {
+				a[ci][li] = rng.Intn(p.NumAccels)
+			}
+		}
+		got, err := Evaluate(p, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := referenceEvaluate(p, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustEqualResults(t, fmt.Sprintf("trial %d", trial), got, want)
+	}
+}
+
+// TestDifferentialHeuristic drives the incremental solver (O(1) move screen,
+// scratch reuse, parallel scan) against the original full-Evaluate-per-move
+// refinement.
+func TestDifferentialHeuristic(t *testing.T) {
+	rng := stats.NewRNG(202)
+	for trial := 0; trial < 120; trial++ {
+		scale := 1.0
+		if trial%3 == 0 {
+			scale = 1e8
+		}
+		p := randomProblem(rng, 3, 7, 1+rng.Intn(3), scale)
+		got, err := Heuristic(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := referenceHeuristic(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustEqualResults(t, fmt.Sprintf("trial %d", trial), got, want)
+	}
+}
+
+// TestDifferentialHeuristicParallel uses instances big enough to cross the
+// parallel move-scan threshold, so the worker fan-out and its site-ordered
+// reduction are exercised against the sequential reference.
+func TestDifferentialHeuristicParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large instances")
+	}
+	// Force a multi-worker pool even on single-CPU machines so the fan-out
+	// and its deterministic reduction are really exercised.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	rng := stats.NewRNG(303)
+	for trial := 0; trial < 6; trial++ {
+		p := randomProblem(rng, 4, 20, 4, 1e6)
+		if p.Size()*(p.NumAccels-1) < parallelMoveMin {
+			// Top the instance up so the parallel path definitely runs.
+			for p.Size()*(p.NumAccels-1) < parallelMoveMin {
+				ci := rng.Intn(len(p.Chains))
+				l := p.Chains[ci].Layers[0]
+				p.Chains[ci].Layers = append(p.Chains[ci].Layers, l)
+			}
+		}
+		got, err := Heuristic(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := referenceHeuristic(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustEqualResults(t, fmt.Sprintf("trial %d", trial), got, want)
+	}
+}
+
+// TestDifferentialExhaustive drives the pruned DFS enumeration against the
+// original full enumeration.
+func TestDifferentialExhaustive(t *testing.T) {
+	rng := stats.NewRNG(404)
+	for trial := 0; trial < 80; trial++ {
+		scale := 1.0
+		if trial%3 == 0 {
+			scale = 1e8
+		}
+		p := randomProblem(rng, 2, 4, 1+rng.Intn(3), scale)
+		got, err := Exhaustive(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := referenceExhaustive(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustEqualResults(t, fmt.Sprintf("trial %d", trial), got, want)
+	}
+}
+
+// TestDifferentialExhaustiveParallel crosses the parallel enumeration
+// threshold (2^14 assignments) so the prefix split, the shared pruning bound
+// and the prefix-ordered fold are exercised against the plain enumeration.
+func TestDifferentialExhaustiveParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2^14-leaf enumerations")
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	rng := stats.NewRNG(505)
+	for trial := 0; trial < 3; trial++ {
+		p := Problem{NumAccels: 2}
+		for c := 0; c < 2; c++ {
+			ch := Chain{Name: fmt.Sprintf("c%d", c)}
+			for l := 0; l < 7; l++ {
+				layer := Layer{Name: fmt.Sprintf("c%d_l%d", c, l)}
+				for j := 0; j < 2; j++ {
+					layer.Options = append(layer.Options, Option{
+						Cycles:      int64(1 + rng.Intn(60)),
+						EnergyNJ:    (1 + 10*rng.Float64()) * 1e7,
+						BufferBytes: int64(rng.Intn(4096)),
+					})
+				}
+				ch.Layers = append(ch.Layers, layer)
+			}
+			p.Chains = append(p.Chains, ch)
+		}
+		// One unmeetable, one tight, one loose deadline.
+		p.Deadline = []int64{3, 250, 100000}[trial]
+		if total := 1 << p.Size(); total < parallelExhaustMin {
+			t.Fatalf("instance too small to cross the parallel threshold: %d", total)
+		}
+		got, err := Exhaustive(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := referenceExhaustive(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustEqualResults(t, fmt.Sprintf("trial %d", trial), got, want)
+	}
+}
+
+// TestHeuristicNeverBeatsExhaustive: on every exhaustible instance where both
+// find a feasible schedule, the heuristic's energy must be >= the optimum —
+// anything else means the exact solver is broken.
+func TestHeuristicNeverBeatsExhaustive(t *testing.T) {
+	rng := stats.NewRNG(606)
+	for trial := 0; trial < 100; trial++ {
+		p := randomProblem(rng, 2, 4, 2, 1)
+		opt, err := Exhaustive(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := Heuristic(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt.Feasible && h.Feasible && h.EnergyNJ < opt.EnergyNJ-1e-9 {
+			t.Fatalf("trial %d: heuristic energy %f beats exhaustive optimum %f",
+				trial, h.EnergyNJ, opt.EnergyNJ)
+		}
+	}
+}

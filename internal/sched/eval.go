@@ -1,0 +1,274 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file is the incremental evaluation engine under the HAP solvers: a
+// reusable, allocation-free schedule simulator driven by a min-heap of ready
+// layers. The solvers validate the problem once, then run this unchecked
+// core for every candidate they consider; the exported Evaluate/Timeline
+// wrappers keep validating for external callers.
+//
+// Bit-identity contract: the simulator reproduces the original O(chains)
+// ready-layer scan exactly — same scheduling decisions (earliest start, ties
+// to the lower chain index), same integer makespans, and energy accumulated
+// in the same schedule order so the float64 sums are identical to the last
+// bit. The differential tests in differential_test.go enforce this against
+// a verbatim copy of the pre-rewrite solver.
+
+// event is one pending ready layer in the simulator's priority queue: chain
+// `chain`'s head layer can start no earlier than `start`. Keys can go stale
+// low (a sub-accelerator got busier after insertion); the simulator
+// re-checks on pop and reinserts with the true key, which is sound because
+// chainReady/accelFree only ever increase.
+type event struct {
+	start int64
+	chain int32
+}
+
+func (e event) less(o event) bool {
+	return e.start < o.start || (e.start == o.start && e.chain < o.chain)
+}
+
+// eventHeap is a hand-rolled binary min-heap ordered by (start, chain). The
+// (start, chain) order reproduces the original scan's tie-break: among
+// equally early ready layers the lowest chain index runs first.
+type eventHeap []event
+
+func (h *eventHeap) push(e event) {
+	s := append(*h, e)
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s[i].less(s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+	*h = s
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && s[r].less(s[l]) {
+			m = r
+		}
+		if !s[m].less(s[i]) {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return top
+}
+
+// evaluator holds the reusable scratch state for repeated simulations of one
+// Problem. A single evaluator is not safe for concurrent use; parallel scans
+// give each worker its own.
+type evaluator struct {
+	p    *Problem
+	opts [][][]Option // opts[ci][li] aliases Chains[ci].Layers[li].Options
+
+	next       []int
+	chainReady []int64
+	accelFree  []int64
+	buf        []int64
+	heap       eventHeap
+
+	makespan int64
+	energy   float64
+}
+
+func newEvaluator(p *Problem) *evaluator {
+	e := &evaluator{
+		p:          p,
+		opts:       make([][][]Option, len(p.Chains)),
+		next:       make([]int, len(p.Chains)),
+		chainReady: make([]int64, len(p.Chains)),
+		accelFree:  make([]int64, p.NumAccels),
+		buf:        make([]int64, p.NumAccels),
+		heap:       make(eventHeap, 0, len(p.Chains)),
+	}
+	for ci := range p.Chains {
+		rows := make([][]Option, len(p.Chains[ci].Layers))
+		for li := range p.Chains[ci].Layers {
+			rows[li] = p.Chains[ci].Layers[li].Options
+		}
+		e.opts[ci] = rows
+	}
+	return e
+}
+
+// run simulates the paper's sch() event-driven list schedule of assignment a
+// and leaves makespan/energy/buf in the evaluator's fields. When placements
+// is non-nil the concrete schedule is appended to it in start order. The
+// assignment must be well-shaped for the problem (the solvers only produce
+// such assignments; external input goes through Evaluate/Timeline).
+func (e *evaluator) run(a Assignment, placements *[]Placement) {
+	e.runBounded(a, math.MaxInt64, math.Inf(1), placements)
+}
+
+// runBounded is run with sound early aborts for candidate screening: it
+// returns false as soon as any layer's finish time reaches mkBound or the
+// energy accumulated so far reaches eBound. Because finish times never
+// exceed the final makespan and energy partial sums of non-negative terms
+// are monotonically non-decreasing in float64, an abort proves the completed
+// metrics would have reached the bound too — so callers can reject the
+// candidate exactly as if they had compared the full simulation's result.
+// On abort the evaluator's makespan/energy/buf are unspecified.
+func (e *evaluator) runBounded(a Assignment, mkBound int64, eBound float64, placements *[]Placement) bool {
+	if len(e.opts) == 1 {
+		return e.runSingleChain(a[0], mkBound, eBound, placements)
+	}
+	for ci := range e.next {
+		e.next[ci] = 0
+		e.chainReady[ci] = 0
+	}
+	for j := range e.accelFree {
+		e.accelFree[j] = 0
+		e.buf[j] = 0
+	}
+	h := e.heap[:0]
+	for ci := range e.opts {
+		// Ascending chain index with equal keys: already heap-ordered.
+		h = append(h, event{start: 0, chain: int32(ci)})
+	}
+
+	var energy float64
+	var makespan int64
+	for len(h) > 0 {
+		ev := h.pop()
+		ci := int(ev.chain)
+		li := e.next[ci]
+		j := a[ci][li]
+		start := e.chainReady[ci]
+		if f := e.accelFree[j]; f > start {
+			start = f
+		}
+		if start > ev.start && len(h) > 0 && h[0].less(event{start: start, chain: ev.chain}) {
+			// Stale key: the sub-accelerator got busier since this entry was
+			// inserted, and another chain is now ahead of it. Reinsert with
+			// the true key; keys only increase, so the next up-to-date pop
+			// is the schedule's true argmin. (When the updated key still
+			// precedes the heap top the layer runs immediately instead.)
+			h.push(event{start: start, chain: ev.chain})
+			continue
+		}
+		opt := &e.opts[ci][li][j]
+		finish := start + opt.Cycles
+		if finish >= mkBound {
+			e.heap = h
+			return false
+		}
+		if placements != nil {
+			*placements = append(*placements, Placement{
+				Chain: ci, Layer: li, Name: e.p.Chains[ci].Layers[li].Name,
+				Accel: j, Start: start, End: finish,
+			})
+		}
+		e.chainReady[ci] = finish
+		e.accelFree[j] = finish
+		if finish > makespan {
+			makespan = finish
+		}
+		energy += opt.EnergyNJ
+		if energy >= eBound {
+			e.heap = h
+			return false
+		}
+		if opt.BufferBytes > e.buf[j] {
+			e.buf[j] = opt.BufferBytes
+		}
+		if li+1 < len(e.opts[ci]) {
+			e.next[ci] = li + 1
+			h.push(event{start: finish, chain: ev.chain})
+		}
+	}
+	e.heap = h
+	e.makespan = makespan
+	e.energy = energy
+	return true
+}
+
+// runSingleChain is the degenerate single-DNN case: with one chain there is
+// never contention, every layer starts exactly when its predecessor
+// finishes, and the heap would hold one element — so the simulation is a
+// straight accumulation over the chain.
+func (e *evaluator) runSingleChain(row []int, mkBound int64, eBound float64, placements *[]Placement) bool {
+	for j := range e.buf {
+		e.buf[j] = 0
+	}
+	opts := e.opts[0]
+	var t int64
+	var energy float64
+	for li, j := range row {
+		opt := &opts[li][j]
+		finish := t + opt.Cycles
+		if finish >= mkBound {
+			return false
+		}
+		if placements != nil {
+			*placements = append(*placements, Placement{
+				Chain: 0, Layer: li, Name: e.p.Chains[0].Layers[li].Name,
+				Accel: j, Start: t, End: finish,
+			})
+		}
+		t = finish
+		energy += opt.EnergyNJ
+		if energy >= eBound {
+			return false
+		}
+		if opt.BufferBytes > e.buf[j] {
+			e.buf[j] = opt.BufferBytes
+		}
+	}
+	e.makespan = t
+	e.energy = energy
+	return true
+}
+
+// result snapshots the last run into a detached Result: the assignment is
+// cloned exactly once and the buffer demand copied out of scratch.
+func (e *evaluator) result(a Assignment) Result {
+	return Result{
+		Assign:       a.clone(),
+		Makespan:     e.makespan,
+		EnergyNJ:     e.energy,
+		BufferDemand: append([]int64(nil), e.buf...),
+		Feasible:     e.makespan <= e.p.Deadline,
+	}
+}
+
+// checkAssignment verifies that a is well-shaped for the problem.
+func (p Problem) checkAssignment(a Assignment) error {
+	if len(a) != len(p.Chains) {
+		return fmt.Errorf("sched: assignment has %d chains, want %d", len(a), len(p.Chains))
+	}
+	for i, row := range a {
+		if len(row) != len(p.Chains[i].Layers) {
+			return fmt.Errorf("sched: chain %d assignment has %d layers, want %d",
+				i, len(row), len(p.Chains[i].Layers))
+		}
+		for li, j := range row {
+			if j < 0 || j >= p.NumAccels {
+				return fmt.Errorf("sched: chain %d layer %d assigned to invalid accelerator %d", i, li, j)
+			}
+		}
+	}
+	return nil
+}

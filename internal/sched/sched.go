@@ -9,11 +9,22 @@
 // The package provides the heuristic solver the paper uses (a Shao-style
 // ratio-greedy refinement [29]) and an exhaustive solver for small instances
 // that serves as the ILP-optimal reference in tests and ablations.
+//
+// The solvers are incremental: the problem is validated once per solve, every
+// candidate assignment is simulated by the allocation-free min-heap engine in
+// eval.go, energy-losing moves are screened out by an O(1) per-move option
+// delta before any simulation runs, the exhaustive enumeration prunes with
+// admissible energy/makespan bounds, and large scans fan out across a bounded
+// worker pool with a deterministic reduction order. Results are bit-identical
+// to the pre-rewrite solver (see differential_test.go).
 package sched
 
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 )
 
 // Option is the cost of running one layer on one particular sub-accelerator.
@@ -93,6 +104,13 @@ func (a Assignment) clone() Assignment {
 	return out
 }
 
+// copyFrom copies src's values into a (rows must match in shape).
+func (a Assignment) copyFrom(src Assignment) {
+	for i, row := range src {
+		copy(a[i], row)
+	}
+}
+
 // Result is an evaluated schedule.
 type Result struct {
 	Assign   Assignment
@@ -114,74 +132,14 @@ func Evaluate(p Problem, a Assignment) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err
 	}
-	if len(a) != len(p.Chains) {
-		return Result{}, fmt.Errorf("sched: assignment has %d chains, want %d", len(a), len(p.Chains))
+	if err := p.checkAssignment(a); err != nil {
+		return Result{}, err
 	}
-	for i, row := range a {
-		if len(row) != len(p.Chains[i].Layers) {
-			return Result{}, fmt.Errorf("sched: chain %d assignment has %d layers, want %d",
-				i, len(row), len(p.Chains[i].Layers))
-		}
-		for li, j := range row {
-			if j < 0 || j >= p.NumAccels {
-				return Result{}, fmt.Errorf("sched: chain %d layer %d assigned to invalid accelerator %d", i, li, j)
-			}
-		}
-	}
-
-	next := make([]int, len(p.Chains)) // next unscheduled layer per chain
-	chainReady := make([]int64, len(p.Chains))
-	accelFree := make([]int64, p.NumAccels)
-	buf := make([]int64, p.NumAccels)
-	var energy float64
-	var makespan int64
-
-	remaining := p.Size()
-	for remaining > 0 {
-		bestChain := -1
-		var bestStart int64 = math.MaxInt64
-		for ci := range p.Chains {
-			li := next[ci]
-			if li >= len(p.Chains[ci].Layers) {
-				continue
-			}
-			j := a[ci][li]
-			start := chainReady[ci]
-			if accelFree[j] > start {
-				start = accelFree[j]
-			}
-			if start < bestStart {
-				bestStart = start
-				bestChain = ci
-			}
-		}
-		ci := bestChain
-		li := next[ci]
-		j := a[ci][li]
-		opt := p.Chains[ci].Layers[li].Options[j]
-		finish := bestStart + opt.Cycles
-		chainReady[ci] = finish
-		accelFree[j] = finish
-		if finish > makespan {
-			makespan = finish
-		}
-		energy += opt.EnergyNJ
-		if opt.BufferBytes > buf[j] {
-			buf[j] = opt.BufferBytes
-		}
-		next[ci]++
-		remaining--
-	}
-
+	ev := newEvaluator(&p)
+	ev.run(a, nil)
 	// The returned Assign is detached from the caller's (possibly scratch)
 	// slice so Result snapshots stay valid after further mutation.
-	return Result{
-		Assign:       a.clone(),
-		Makespan:     makespan,
-		EnergyNJ:     energy,
-		BufferDemand: buf,
-		Feasible:     makespan <= p.Deadline,
-	}, nil
+	return ev.result(a), nil
 }
 
 // minLatencyAssignment assigns every layer to its fastest sub-accelerator.
@@ -202,6 +160,210 @@ func minLatencyAssignment(p Problem) Assignment {
 	return a
 }
 
+// Solver parallelism bounds. Small instances (the ones inside the RL search
+// loop, which already fans episodes out across core's worker pool) stay
+// sequential; only scans big enough to amortize goroutine startup fan out.
+const (
+	// parallelMoveMin is the minimum number of candidate moves per
+	// refinement round before Heuristic parallelizes the move scan.
+	parallelMoveMin = 128
+	// parallelExhaustMin is the minimum enumeration size before Exhaustive
+	// splits the assignment space across workers.
+	parallelExhaustMin = 1 << 14
+	// maxSolverWorkers bounds the worker pool of one solve.
+	maxSolverWorkers = 8
+)
+
+// solverWorkers picks the worker count for a scan of `units` independent
+// work items.
+func solverWorkers(units int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > maxSolverWorkers {
+		w = maxSolverWorkers
+	}
+	if w > units {
+		w = units
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// energySlack bounds the float64 discrepancy between the O(1) option-energy
+// delta of a single-layer move and the full-sum delta the solver's decision
+// arithmetic is defined on (two schedule-order sums differing in one term).
+// The true discrepancy is at most a few n·ulp(ΣEnergy) ≈ 1e-13·ΣEnergy; the
+// 1e-9 relative slack dominates it by orders of magnitude while remaining
+// far below any physically meaningful energy difference, so screening with
+// this margin never changes a decision the exact arithmetic would make.
+func energySlack(e float64) float64 { return 1e-9 * (1 + math.Abs(e)) }
+
+// site is one movable layer position.
+type site struct{ ci, li int }
+
+// move is one candidate single-layer reassignment, scored for the phase the
+// scan ran in (makespan for phase 1, energy/latency ratio for phase 2).
+type move struct {
+	ok        bool
+	ci, li, j int
+	mk        int64
+	ratio     float64
+}
+
+// moveScratch is one scan worker's private state.
+type moveScratch struct {
+	a  Assignment
+	ev *evaluator
+}
+
+// hsolver carries the scratch state of one Heuristic solve.
+type hsolver struct {
+	p     *Problem
+	a     Assignment
+	ev    *evaluator
+	sites []site
+	curMk int64
+	curE  float64
+
+	workers []*moveScratch // lazily built for parallel scans
+	chunks  []move
+}
+
+// refresh re-simulates the current assignment and caches its metrics.
+func (s *hsolver) refresh() {
+	s.ev.run(s.a, nil)
+	s.curMk = s.ev.makespan
+	s.curE = s.ev.energy
+}
+
+// result snapshots the current assignment. The evaluator is re-run first:
+// after a scan it holds the last candidate's state, not the current one.
+func (s *hsolver) result() Result {
+	s.ev.run(s.a, nil)
+	return s.ev.result(s.a)
+}
+
+// scanRange evaluates every single-layer move whose site index lies in
+// [lo, hi) against the current schedule, using the given scratch assignment
+// (a copy of s.a that is mutated and restored in place) and evaluator. It
+// returns the range's best move under the phase's decision rule, with ties
+// resolved to the first move in (chain, layer, accelerator) scan order —
+// exactly the original solver's scan semantics.
+func (s *hsolver) scanRange(phase1 bool, lo, hi int, a Assignment, ev *evaluator) move {
+	p := s.p
+	best := move{mk: s.curMk} // phase 1: only strictly smaller makespans qualify
+	// O(1) screen threshold: moves whose order-independent option delta
+	// cannot reach the acceptance threshold even after the worst-case
+	// full-sum discrepancy are skipped without simulating.
+	screen := 1e-12 - energySlack(s.curE)
+	// Phase 2 candidates must meet the deadline and strictly lower the
+	// energy; simulations abort as soon as either is impossible. Both
+	// bounds are exact rejections, not approximations (see runBounded).
+	deadlineBound := incClamp(p.Deadline)
+	for si := lo; si < hi; si++ {
+		ci, li := s.sites[si].ci, s.sites[si].li
+		row := a[ci]
+		orig := row[li]
+		opts := ev.opts[ci][li]
+		for j := 0; j < p.NumAccels; j++ {
+			if j == orig {
+				continue
+			}
+			if phase1 {
+				row[li] = j
+				ok := ev.runBounded(a, best.mk, math.Inf(1), nil)
+				row[li] = orig
+				if ok && ev.makespan < best.mk {
+					best = move{ok: true, ci: ci, li: li, j: j, mk: ev.makespan}
+				}
+				continue
+			}
+			if opts[orig].EnergyNJ-opts[j].EnergyNJ <= screen {
+				continue
+			}
+			row[li] = j
+			ok := ev.runBounded(a, deadlineBound, s.curE, nil)
+			row[li] = orig
+			if !ok || ev.makespan > p.Deadline {
+				continue
+			}
+			// Exact decision arithmetic: the candidate's energy is the full
+			// schedule-order sum, so dE and the ratio are bit-identical to
+			// the pre-rewrite solver's.
+			dE := s.curE - ev.energy
+			if dE <= 1e-12 {
+				continue
+			}
+			dT := float64(ev.makespan - s.curMk)
+			if dT < 1 {
+				dT = 1
+			}
+			if r := dE / dT; !best.ok || r > best.ratio {
+				best = move{ok: true, ci: ci, li: li, j: j, mk: ev.makespan, ratio: r}
+			}
+		}
+	}
+	return best
+}
+
+// incClamp returns x+1 without overflowing.
+func incClamp(x int64) int64 {
+	if x == math.MaxInt64 {
+		return x
+	}
+	return x + 1
+}
+
+// scan finds the best move of one refinement round, fanning out across
+// workers when the scan is large enough. The chunk reduction folds in site
+// order, so the selected move is identical for any worker count.
+func (s *hsolver) scan(phase1 bool) move {
+	nSites := len(s.sites)
+	nw := solverWorkers(nSites)
+	if nSites*(s.p.NumAccels-1) < parallelMoveMin || nw < 2 {
+		return s.scanRange(phase1, 0, nSites, s.a, s.ev)
+	}
+	if s.workers == nil {
+		s.workers = make([]*moveScratch, nw)
+		for w := range s.workers {
+			s.workers[w] = &moveScratch{a: s.a.clone(), ev: newEvaluator(s.p)}
+		}
+		s.chunks = make([]move, nw)
+	}
+	per := (nSites + nw - 1) / nw
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		lo := w * per
+		hi := lo + per
+		if hi > nSites {
+			hi = nSites
+		}
+		if lo >= hi {
+			s.chunks[w] = move{}
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			ws := s.workers[w]
+			ws.a.copyFrom(s.a)
+			s.chunks[w] = s.scanRange(phase1, lo, hi, ws.a, ws.ev)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	best := move{}
+	for _, m := range s.chunks {
+		if !m.ok {
+			continue
+		}
+		if !best.ok || (phase1 && m.mk < best.mk) || (!phase1 && m.ratio > best.ratio) {
+			best = m
+		}
+	}
+	return best
+}
+
 // Heuristic solves the HAP instance with the paper's accelerated approach
 // [29]: seed with the minimum-latency assignment, then greedily apply the
 // single-layer move with the best energy-saving-per-latency-cost ratio while
@@ -213,112 +375,271 @@ func Heuristic(p Problem) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err
 	}
-	a := minLatencyAssignment(p)
-	cur, err := Evaluate(p, a)
-	if err != nil {
-		return Result{}, err
+	s := &hsolver{p: &p, ev: newEvaluator(&p), a: minLatencyAssignment(p)}
+	for ci, c := range p.Chains {
+		for li := range c.Layers {
+			s.sites = append(s.sites, site{ci, li})
+		}
 	}
+	s.refresh()
 
 	// Phase 1: if infeasible, try to shorten the makespan by moving layers
 	// off the critical (busiest) accelerator.
-	for !cur.Feasible {
-		improved := false
-		best := cur
-		for ci, c := range p.Chains {
-			for li := range c.Layers {
-				orig := a[ci][li]
-				for j := 0; j < p.NumAccels; j++ {
-					if j == orig {
-						continue
-					}
-					a[ci][li] = j
-					cand, err := Evaluate(p, a)
-					if err != nil {
-						return Result{}, err
-					}
-					if cand.Makespan < best.Makespan {
-						best = cand.clone2()
-						improved = true
-					}
-				}
-				a[ci][li] = orig
-			}
-		}
-		if !improved {
+	for s.curMk > p.Deadline {
+		m := s.scan(true)
+		if !m.ok {
 			break
 		}
-		a = best.Assign.clone()
-		cur = best
+		s.a[m.ci][m.li] = m.j
+		s.refresh()
 	}
-	if !cur.Feasible {
-		return cur, nil
+	if s.curMk > p.Deadline {
+		return s.result(), nil
 	}
 
 	// Phase 2: ratio-greedy energy refinement under the deadline.
 	for {
-		type move struct {
-			ci, li, j int
-			res       Result
-			ratio     float64
+		m := s.scan(false)
+		if !m.ok {
+			break
 		}
-		var bestMove *move
-		for ci, c := range p.Chains {
-			for li := range c.Layers {
-				orig := a[ci][li]
-				for j := 0; j < p.NumAccels; j++ {
-					if j == orig {
-						continue
-					}
-					a[ci][li] = j
-					cand, err := Evaluate(p, a)
-					if err != nil {
-						return Result{}, err
-					}
-					a[ci][li] = orig
-					if !cand.Feasible {
-						continue
-					}
-					dE := cur.EnergyNJ - cand.EnergyNJ
-					if dE <= 1e-12 {
-						continue
-					}
-					dT := float64(cand.Makespan - cur.Makespan)
-					if dT < 1 {
-						dT = 1
-					}
-					r := dE / dT
-					if bestMove == nil || r > bestMove.ratio {
-						m := move{ci: ci, li: li, j: j, res: cand.clone2(), ratio: r}
-						bestMove = &m
-					}
-				}
-			}
-		}
-		if bestMove == nil {
-			return cur, nil
-		}
-		a[bestMove.ci][bestMove.li] = bestMove.j
-		cur = bestMove.res
+		s.a[m.ci][m.li] = m.j
+		s.refresh()
 	}
-}
-
-// clone2 returns a Result whose Assign is detached from the caller's
-// scratch assignment.
-func (r Result) clone2() Result {
-	r.Assign = r.Assign.clone()
-	r.BufferDemand = append([]int64(nil), r.BufferDemand...)
-	return r
+	return s.result(), nil
 }
 
 // MaxExhaustiveSize bounds the instance size Exhaustive accepts
 // (NumAccels^Size assignments are enumerated).
 const MaxExhaustiveSize = 1 << 20
 
+// exhaustPre holds the per-position precomputation shared by every
+// enumeration worker: the (chain, layer) of each flat position and the
+// admissible remainder bounds (minimum energy / per-chain minimum cycles
+// over all positions below k).
+type exhaustPre struct {
+	n       int
+	chainOf []int
+	layerOf []int
+	// sufMinE[k] is the summed minimum option energy of positions < k.
+	sufMinE []float64
+	// chainRem[k][ci] is the summed minimum option cycles of chain ci's
+	// positions < k.
+	chainRem [][]int64
+}
+
+func newExhaustPre(p *Problem) *exhaustPre {
+	n := p.Size()
+	pre := &exhaustPre{
+		n:       n,
+		chainOf: make([]int, n),
+		layerOf: make([]int, n),
+		sufMinE: make([]float64, n+1),
+		chainRem: func() [][]int64 {
+			m := make([][]int64, n+1)
+			flat := make([]int64, (n+1)*len(p.Chains))
+			for k := range m {
+				m[k] = flat[k*len(p.Chains) : (k+1)*len(p.Chains)]
+			}
+			return m
+		}(),
+	}
+	k := 0
+	for ci, c := range p.Chains {
+		for li := range c.Layers {
+			pre.chainOf[k] = ci
+			pre.layerOf[k] = li
+			k++
+		}
+	}
+	for k := 0; k < n; k++ {
+		opts := p.Chains[pre.chainOf[k]].Layers[pre.layerOf[k]].Options
+		minE := opts[0].EnergyNJ
+		minC := opts[0].Cycles
+		for _, o := range opts[1:] {
+			if o.EnergyNJ < minE {
+				minE = o.EnergyNJ
+			}
+			if o.Cycles < minC {
+				minC = o.Cycles
+			}
+		}
+		pre.sufMinE[k+1] = pre.sufMinE[k] + minE
+		copy(pre.chainRem[k+1], pre.chainRem[k])
+		pre.chainRem[k+1][pre.chainOf[k]] += minC
+	}
+	return pre
+}
+
+// exhaustShared is the cross-worker pruning state: whether any feasible leaf
+// exists yet and the best feasible energy published so far. Reading a stale
+// value only weakens pruning; the admissible bounds plus the energySlack
+// margin guarantee no would-be winner is ever pruned, so the final fold is
+// deterministic for any worker count.
+type exhaustShared struct {
+	feasible atomic.Bool
+	bestBits atomic.Uint64 // math.Float64bits of the best feasible energy
+}
+
+func newExhaustShared() *exhaustShared {
+	s := &exhaustShared{}
+	s.bestBits.Store(math.Float64bits(math.Inf(1)))
+	return s
+}
+
+func (s *exhaustShared) publish(e float64) {
+	for {
+		old := s.bestBits.Load()
+		if math.Float64frombits(old) <= e {
+			break
+		}
+		if s.bestBits.CompareAndSwap(old, math.Float64bits(e)) {
+			break
+		}
+	}
+	s.feasible.Store(true)
+}
+
+func (s *exhaustShared) snapshot() (bool, float64) {
+	if !s.feasible.Load() {
+		return false, 0
+	}
+	return true, math.Float64frombits(s.bestBits.Load())
+}
+
+// exhaustState is one worker's depth-first enumeration state.
+type exhaustState struct {
+	p         *Problem
+	pre       *exhaustPre
+	ev        *evaluator
+	flat      []int
+	a         Assignment
+	chainLoad []int64
+	accelLoad []int64
+
+	best         Result
+	haveFeasible bool
+	have         bool
+	shared       *exhaustShared
+}
+
+func newExhaustState(p *Problem, pre *exhaustPre, shared *exhaustShared) *exhaustState {
+	st := &exhaustState{
+		p:         p,
+		pre:       pre,
+		ev:        newEvaluator(p),
+		flat:      make([]int, pre.n),
+		a:         make(Assignment, len(p.Chains)),
+		chainLoad: make([]int64, len(p.Chains)),
+		accelLoad: make([]int64, p.NumAccels),
+		shared:    shared,
+	}
+	k := 0
+	for ci, c := range p.Chains {
+		st.a[ci] = st.flat[k : k+len(c.Layers)]
+		k += len(c.Layers)
+	}
+	return st
+}
+
+func (s *exhaustState) reset() {
+	for i := range s.chainLoad {
+		s.chainLoad[i] = 0
+	}
+	for i := range s.accelLoad {
+		s.accelLoad[i] = 0
+	}
+	s.best = Result{}
+	s.haveFeasible = false
+	s.have = false
+}
+
+// leaf evaluates the completed assignment with the original running-minimum
+// selection rule: first-enumerated minimum-energy feasible schedule, else
+// first-enumerated minimum-makespan schedule. The simulation aborts early
+// once the leaf provably cannot be selected — past the deadline with a
+// feasible best in hand (or past both the deadline and the fallback
+// makespan before one), or at the best feasible energy — which rejects the
+// leaf exactly as the full comparison would.
+func (s *exhaustState) leaf() {
+	mkBound := int64(math.MaxInt64)
+	eBound := math.Inf(1)
+	if s.haveFeasible {
+		mkBound = incClamp(s.p.Deadline)
+		eBound = s.best.EnergyNJ
+	} else if s.have {
+		mkBound = incClamp(s.p.Deadline)
+		if s.best.Makespan > mkBound {
+			mkBound = s.best.Makespan
+		}
+	}
+	if !s.ev.runBounded(s.a, mkBound, eBound, nil) {
+		s.have = true
+		return
+	}
+	mk, en := s.ev.makespan, s.ev.energy
+	switch {
+	case mk <= s.p.Deadline && (!s.haveFeasible || en < s.best.EnergyNJ):
+		s.best = s.ev.result(s.a)
+		s.haveFeasible = true
+		s.shared.publish(en)
+	case !s.haveFeasible && (!s.have || mk < s.best.Makespan):
+		s.best = s.ev.result(s.a)
+	}
+	s.have = true
+}
+
+// dfs enumerates positions pos..0 (most-significant digit first, so leaves
+// appear in exactly the original flat-index enumeration order) and prunes
+// subtrees that provably cannot change the outcome:
+//
+//   - once any feasible leaf exists, subtrees whose integer makespan lower
+//     bound exceeds the deadline (all leaves infeasible) or whose energy
+//     lower bound cannot beat the best feasible energy (with the energySlack
+//     float margin, so a true winner is never cut);
+//   - before one exists, subtrees that are provably infeasible and cannot
+//     improve the running minimum-makespan fallback (integer-exact).
+func (s *exhaustState) dfs(pos int, eSoFar float64) {
+	if pos < 0 {
+		s.leaf()
+		return
+	}
+	pre := s.pre
+	ci := pre.chainOf[pos]
+	opts := s.ev.opts[ci][pre.layerOf[pos]]
+	rem := pre.chainRem[pos]
+	for j := range opts {
+		o := &opts[j]
+		lb := s.chainLoad[ci] + o.Cycles + rem[ci]
+		if al := s.accelLoad[j] + o.Cycles; al > lb {
+			lb = al
+		}
+		if feasible, bestE := s.shared.snapshot(); feasible {
+			if lb > s.p.Deadline {
+				continue
+			}
+			if eSoFar+o.EnergyNJ+pre.sufMinE[pos] >= bestE+energySlack(bestE) {
+				continue
+			}
+		} else if lb > s.p.Deadline && s.have && lb >= s.best.Makespan {
+			continue
+		}
+		s.flat[pos] = j
+		s.chainLoad[ci] += o.Cycles
+		s.accelLoad[j] += o.Cycles
+		s.dfs(pos-1, eSoFar+o.EnergyNJ)
+		s.accelLoad[j] -= o.Cycles
+		s.chainLoad[ci] -= o.Cycles
+	}
+}
+
 // Exhaustive enumerates every assignment and returns the minimum-energy
 // schedule meeting the deadline, or — when none is feasible — the schedule
 // with the smallest makespan. It is the optimal reference standing in for
 // the paper's ILP formulation; it returns an error when the instance is too
-// large (NumAccels^layers > MaxExhaustiveSize).
+// large (NumAccels^layers > MaxExhaustiveSize). Enumeration prunes with
+// admissible bounds and fans out across workers on large instances; both are
+// outcome-preserving, so the result is identical to the plain enumeration.
 func Exhaustive(p Problem) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err
@@ -331,40 +652,78 @@ func Exhaustive(p Problem) (Result, error) {
 			return Result{}, fmt.Errorf("sched: instance too large for exhaustive search (%d layers, %d accelerators)", n, p.NumAccels)
 		}
 	}
-
-	flat := make([]int, n)
-	a := make(Assignment, len(p.Chains))
-	{
-		k := 0
-		for ci, c := range p.Chains {
-			a[ci] = flat[k : k+len(c.Layers)]
-			k += len(c.Layers)
-		}
+	pre := newExhaustPre(&p)
+	if nw := solverWorkers(total); total >= parallelExhaustMin && nw >= 2 {
+		return exhaustParallel(&p, pre, nw), nil
 	}
+	st := newExhaustState(&p, pre, newExhaustShared())
+	st.dfs(n-1, 0)
+	return st.best, nil
+}
+
+// exhaustParallel splits the enumeration over the top assignment digits and
+// folds the per-prefix results in prefix (= enumeration) order, reproducing
+// the sequential running-minimum selection exactly.
+func exhaustParallel(p *Problem, pre *exhaustPre, nw int) Result {
+	k := p.NumAccels
+	pd, prefixes := 0, 1
+	for prefixes < 4*nw && pd < pre.n {
+		pd++
+		prefixes *= k
+	}
+	type summary struct {
+		best         Result
+		haveFeasible bool
+		have         bool
+	}
+	sums := make([]summary, prefixes)
+	shared := newExhaustShared()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st := newExhaustState(p, pre, shared)
+			for {
+				pi := int(next.Add(1) - 1)
+				if pi >= prefixes {
+					return
+				}
+				st.reset()
+				eSoFar := 0.0
+				for t, v := 0, pi; t < pd; t, v = t+1, v/k {
+					pos := pre.n - pd + t
+					j := v % k
+					o := &st.ev.opts[pre.chainOf[pos]][pre.layerOf[pos]][j]
+					st.flat[pos] = j
+					st.chainLoad[pre.chainOf[pos]] += o.Cycles
+					st.accelLoad[j] += o.Cycles
+					eSoFar += o.EnergyNJ
+				}
+				st.dfs(pre.n-pd-1, eSoFar)
+				sums[pi] = summary{best: st.best, haveFeasible: st.haveFeasible, have: st.have}
+			}
+		}()
+	}
+	wg.Wait()
 
 	var best Result
-	haveFeasible := false
-	have := false
-	for idx := 0; idx < total; idx++ {
-		v := idx
-		for i := 0; i < n; i++ {
-			flat[i] = v % p.NumAccels
-			v /= p.NumAccels
-		}
-		res, err := Evaluate(p, a)
-		if err != nil {
-			return Result{}, err
+	haveFeasible, have := false, false
+	for _, s := range sums {
+		if !s.have {
+			continue
 		}
 		switch {
-		case res.Feasible && (!haveFeasible || res.EnergyNJ < best.EnergyNJ):
-			best = res.clone2()
+		case s.haveFeasible && (!haveFeasible || s.best.EnergyNJ < best.EnergyNJ):
+			best = s.best
 			haveFeasible = true
-		case !haveFeasible && (!have || res.Makespan < best.Makespan):
-			best = res.clone2()
+		case !s.haveFeasible && !haveFeasible && (!have || s.best.Makespan < best.Makespan):
+			best = s.best
 		}
 		have = true
 	}
-	return best, nil
+	return best
 }
 
 // HAP is the paper's solver function re = HAP(D, AIC, LS): it returns the

@@ -18,53 +18,19 @@ type Placement struct {
 }
 
 // Timeline evaluates assignment a like Evaluate but additionally returns the
-// per-layer placements (the concrete sch() schedule), in start order.
+// per-layer placements (the concrete sch() schedule), in start order. Both
+// come out of a single simulation of the event-driven policy.
 func Timeline(p Problem, a Assignment) (Result, []Placement, error) {
-	res, err := Evaluate(p, a)
-	if err != nil {
+	if err := p.Validate(); err != nil {
 		return Result{}, nil, err
 	}
-
-	// Re-run the same event-driven policy, recording placements.
-	next := make([]int, len(p.Chains))
-	chainReady := make([]int64, len(p.Chains))
-	accelFree := make([]int64, p.NumAccels)
-	var placements []Placement
-
-	remaining := p.Size()
-	for remaining > 0 {
-		bestChain := -1
-		var bestStart int64 = int64(^uint64(0) >> 1)
-		for ci := range p.Chains {
-			li := next[ci]
-			if li >= len(p.Chains[ci].Layers) {
-				continue
-			}
-			j := a[ci][li]
-			start := chainReady[ci]
-			if accelFree[j] > start {
-				start = accelFree[j]
-			}
-			if start < bestStart {
-				bestStart = start
-				bestChain = ci
-			}
-		}
-		ci := bestChain
-		li := next[ci]
-		j := a[ci][li]
-		opt := p.Chains[ci].Layers[li].Options[j]
-		finish := bestStart + opt.Cycles
-		placements = append(placements, Placement{
-			Chain: ci, Layer: li, Name: p.Chains[ci].Layers[li].Name,
-			Accel: j, Start: bestStart, End: finish,
-		})
-		chainReady[ci] = finish
-		accelFree[j] = finish
-		next[ci]++
-		remaining--
+	if err := p.checkAssignment(a); err != nil {
+		return Result{}, nil, err
 	}
-	return res, placements, nil
+	ev := newEvaluator(&p)
+	placements := make([]Placement, 0, p.Size())
+	ev.run(a, &placements)
+	return ev.result(a), placements, nil
 }
 
 // ValidateTimeline checks the structural invariants of a placement list
