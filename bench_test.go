@@ -86,6 +86,23 @@ func BenchmarkTable1NoCache(b *testing.B) {
 	}
 }
 
+// BenchmarkTable1SharedMemo is the warm-start variant of BenchmarkTable1:
+// the layer-cost memo is process-wide and the accuracy memo spans every
+// approach, so all searches after the first start warm. Rows are identical;
+// layer_cost_hit_pct is the warm-start rate the shared memo achieves and
+// the ns/op delta against BenchmarkTable1 is its wall-clock win.
+func BenchmarkTable1SharedMemo(b *testing.B) {
+	budget := experiments.QuickBudget()
+	budget.SharedMemo = true
+	for i := 0; i < b.N; i++ {
+		_, stats, err := experiments.Table1(budget)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSearchStats(b, stats)
+	}
+}
+
 // BenchmarkTable2 regenerates Table II: single vs homogeneous vs
 // heterogeneous accelerator configurations on W3.
 func BenchmarkTable2(b *testing.B) {
@@ -219,6 +236,18 @@ func BenchmarkAblationNoEntropy(b *testing.B) {
 func BenchmarkAblationNoHWSteps(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		w := runW3Ablation(b, func(c *core.Config) { c.HWSteps = 0 })
+		b.ReportMetric(100*w, "best_weighted_pct")
+	}
+}
+
+// BenchmarkAblationSeqController swaps the controller's lockstep batched
+// sampling/BPTT for the sequential matrix-vector path. The search outcome is
+// bit-identical to BenchmarkAblationFull (enforced by the internal/rl
+// differential tests and core's determinism suite); the ns/op delta is the
+// batched fast path's wall-clock win on a full exploration.
+func BenchmarkAblationSeqController(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w := runW3Ablation(b, func(c *core.Config) { c.BatchedController = false })
 		b.ReportMetric(100*w, "best_weighted_pct")
 	}
 }

@@ -19,11 +19,13 @@ import (
 
 func main() {
 	var (
-		table   = flag.Int("table", 1, "table to regenerate: 1 or 2")
-		paper   = flag.Bool("paper", false, "use the paper's full search budget")
-		seed    = flag.Int64("seed", 1, "random seed")
-		csv     = flag.String("csv", "", "optional path for CSV export (table 1 only)")
-		hwcache = flag.Bool("hwcache", true, "memoize hardware evaluations (results are identical either way)")
+		table      = flag.Int("table", 1, "table to regenerate: 1 or 2")
+		paper      = flag.Bool("paper", false, "use the paper's full search budget")
+		seed       = flag.Int64("seed", 1, "random seed")
+		csv        = flag.String("csv", "", "optional path for CSV export (table 1 only)")
+		hwcache    = flag.Bool("hwcache", true, "memoize hardware evaluations (results are identical either way)")
+		sharedmemo = flag.Bool("sharedmemo", false, "share the layer-cost memo process-wide and the accuracy memo across the table's searches (warm-start; results are identical)")
+		batchrl    = flag.Bool("batchrl", true, "use the controller's batched policy-gradient fast path (results are identical either way)")
 	)
 	flag.Parse()
 
@@ -33,12 +35,23 @@ func main() {
 	}
 	b.Seed = *seed
 	b.DisableHWCache = !*hwcache
+	b.SharedMemo = *sharedmemo
+	b.SequentialController = !*batchrl
 
 	printStats := func(stats experiments.SearchStats) {
 		fmt.Printf("\nNASAIC evaluator work: %d hardware evaluations for %d requests (%.1f%% cache hits, %d in-batch dedups), %d trainings\n",
 			stats.HWEvals, stats.HWRequests, stats.HitPct(), stats.HWDeduped, stats.Trainings)
-		fmt.Printf("layer-cost memo: %d of %d cost-model queries served (%.1f%%)\n",
-			stats.LayerCostHits, stats.LayerCostRequests, stats.LayerHitPct())
+		scope := "per-run"
+		if *sharedmemo {
+			scope = "shared process-wide, warm-start"
+		}
+		fmt.Printf("layer-cost memo (%s): %d of %d cost-model queries served (%.1f%%)\n",
+			scope, stats.LayerCostHits, stats.LayerCostRequests, stats.LayerHitPct())
+		mode := "batched (lockstep matrix-matrix)"
+		if !*batchrl {
+			mode = "sequential (matrix-vector)"
+		}
+		fmt.Printf("controller: %s policy-gradient path\n", mode)
 	}
 
 	switch *table {

@@ -28,6 +28,8 @@ func main() {
 		out        = flag.String("out", "", "optional directory for CSV export")
 		hwcache    = flag.Bool("hwcache", true, "memoize hardware evaluations (results are identical either way)")
 		layermemo  = flag.Bool("layermemo", true, "memoize per-layer cost-model queries (results are identical either way)")
+		sharedmemo = flag.Bool("sharedmemo", false, "share the layer-cost and accuracy memos across the figure's searches (warm-start; results are identical)")
+		batchrl    = flag.Bool("batchrl", true, "use the controller's batched policy-gradient fast path (results are identical either way)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the regeneration to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -54,6 +56,8 @@ func main() {
 	b.Seed = *seed
 	b.DisableHWCache = !*hwcache
 	b.DisableLayerMemo = !*layermemo
+	b.SharedMemo = *sharedmemo
+	b.SequentialController = !*batchrl
 
 	writeCSV := func(name string, header []string, rows [][]string) {
 		if *out == "" {

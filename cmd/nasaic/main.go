@@ -31,6 +31,8 @@ func main() {
 		trace      = flag.Bool("trace", false, "print the best solution's layer-to-sub-accelerator schedule")
 		hwcache    = flag.Bool("hwcache", true, "memoize hardware evaluations (results are identical either way)")
 		layermemo  = flag.Bool("layermemo", true, "memoize per-layer cost-model queries (results are identical either way)")
+		sharedmemo = flag.Bool("sharedmemo", false, "use the process-wide layer-cost memo instead of a per-run one (results are identical either way)")
+		batchrl    = flag.Bool("batchrl", true, "use the controller's batched policy-gradient fast path (results are identical either way)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the search to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -60,6 +62,8 @@ func main() {
 	cfg.Seed = *seed
 	cfg.HWCache = *hwcache
 	cfg.LayerCostMemo = *layermemo
+	cfg.ShareLayerMemo = *sharedmemo
+	cfg.BatchedController = *batchrl
 
 	x, err := core.New(w, cfg)
 	if err != nil {
@@ -118,6 +122,16 @@ func main() {
 		res.HWCacheHits, res.HWRequests, res.HWCacheHitPct(), res.HWDeduped)
 	fmt.Printf("layer-cost memo: %d of %d cost-model queries served from memo (%.1f%%)\n",
 		res.LayerCostHits, res.LayerCostRequests, res.LayerCostHitPct())
+	if *sharedmemo {
+		fmt.Printf("  shared process-wide memo: %d resident entries\n", x.Evaluator().LayerMemoEntries())
+	}
+	if *optim == "rl" {
+		mode := "batched (lockstep batch of 1+phi episodes)"
+		if !*batchrl {
+			mode = "sequential (one episode at a time)"
+		}
+		fmt.Printf("controller: %s policy-gradient path\n", mode)
+	}
 	if cs := x.Evaluator().CacheStats(); cs.Requests() > 0 {
 		fmt.Printf("  cache detail: %d resident entries, %d evictions, %d in-flight dedups\n",
 			cs.Size, cs.Evictions, cs.Dedups)

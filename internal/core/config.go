@@ -75,6 +75,28 @@ type Config struct {
 	// results are bit-identical either way; the key space is bounded by the
 	// workload's layer shapes times the hardware option grid.
 	LayerCostMemo bool
+	// ShareLayerMemo promotes the layer-cost memo from per-evaluator to the
+	// process-wide memo of maestro.SharedCostMemo (keyed by the full
+	// cost-model configuration), so fresh evaluators — the Table I/II
+	// baselines build one per approach — start warm. It implies the
+	// LayerCostMemo behavior; results are bit-identical either way, only
+	// the per-evaluator hit counters and wall clock change.
+	ShareLayerMemo bool
+	// AccMemo, when non-nil, is a shared accuracy-predictor memo: every
+	// evaluator handed the same memo reuses each other's
+	// training-and-validating results (the predictor is a pure function of
+	// ⟨dataset, architecture⟩, so sharing is bit-identical). Experiments
+	// use one memo across the runs of one table so later searches start
+	// warm; nil keeps the seed behavior of one private memo per evaluator.
+	AccMemo *AccuracyMemo
+	// BatchedController routes each episode's φ hardware-only rollouts and
+	// their policy-gradient accumulation through the controller's lockstep
+	// SampleBatch/AccumulateBatch fast path (matrix-matrix nn kernels).
+	// The batched path performs the same floating-point operations in the
+	// same order as φ sequential rollouts — results are bit-identical
+	// either way (enforced by internal/rl's differential tests); only wall
+	// clock changes.
+	BatchedController bool
 
 	Cost maestro.Config
 	HW   accel.Space
@@ -83,25 +105,26 @@ type Config struct {
 // DefaultConfig returns the paper's settings (§V-A).
 func DefaultConfig() Config {
 	return Config{
-		Episodes:      500,
-		HWSteps:       10,
-		Rho:           10,
-		Gamma:         1.0,
-		Hidden:        48,
-		Seed:          1,
-		Workers:       0,
-		TrainEpochs:   30,
-		LR:            0.03,
-		LRDecay:       0.5,
-		LRDecaySteps:  40,
-		Batch:         5,
-		EntropyCoef:   0.015,
-		ReplayCoef:    0.3,
-		Refine:        true,
-		HWCache:       true,
-		LayerCostMemo: true,
-		Cost:          maestro.DefaultConfig(),
-		HW:            accel.DefaultSpace(),
+		Episodes:          500,
+		HWSteps:           10,
+		Rho:               10,
+		Gamma:             1.0,
+		Hidden:            48,
+		Seed:              1,
+		Workers:           0,
+		TrainEpochs:       30,
+		LR:                0.03,
+		LRDecay:           0.5,
+		LRDecaySteps:      40,
+		Batch:             5,
+		EntropyCoef:       0.015,
+		ReplayCoef:        0.3,
+		Refine:            true,
+		HWCache:           true,
+		LayerCostMemo:     true,
+		BatchedController: true,
+		Cost:              maestro.DefaultConfig(),
+		HW:                accel.DefaultSpace(),
 	}
 }
 

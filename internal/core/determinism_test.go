@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"nasaic/internal/maestro"
 	"nasaic/internal/workload"
 )
 
@@ -115,6 +116,99 @@ func TestHWCacheReducesWork(t *testing.T) {
 	}
 	t.Logf("episodes=%d: hw evals %d -> %d (%.1f%% cache hits, %d in-batch dedups), wall %v -> %v",
 		episodes, off.HWEvals, on.HWEvals, on.HWCacheHitPct(), on.HWDeduped, dOff, dOn)
+}
+
+// The batched controller fast path must not change a single bit of the
+// search outcome: the lockstep sampler consumes the RNG stream in the
+// sequential order and the batched BPTT replays its gradient adds in the
+// sequential order, so an entire exploration — episode rewards, explored
+// set, best solution — is bit-identical with batching on or off.
+func TestRunDeterministicAcrossControllerBatching(t *testing.T) {
+	episodes := 16
+	if testing.Short() {
+		episodes = 6
+	}
+	run := func(batched bool) string {
+		cfg := DefaultConfig()
+		cfg.Episodes = episodes
+		cfg.Seed = 11
+		cfg.BatchedController = batched
+		x, err := New(workload.W3(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outcomeFingerprint(x.Run())
+	}
+	seq := run(false)
+	bat := run(true)
+	if seq == "" {
+		t.Fatal("empty sequential fingerprint")
+	}
+	if bat != seq {
+		t.Errorf("batched controller changed the search outcome:\n--- sequential ---\n%s--- batched ---\n%s", seq, bat)
+	}
+}
+
+// Sharing the layer-cost memo process-wide and the accuracy memo across
+// evaluators must leave outcomes bit-identical — both memoize pure
+// functions — while the warm evaluator reports a (near-)perfect hit rate.
+func TestSharedMemosWarmStartWithoutChangingResults(t *testing.T) {
+	maestro.ResetSharedCostMemos()
+	episodes := 10
+	if testing.Short() {
+		episodes = 5
+	}
+	acc := NewAccuracyMemo()
+	run := func(shared bool) *Result {
+		cfg := DefaultConfig()
+		cfg.Episodes = episodes
+		cfg.Seed = 13
+		if shared {
+			cfg.ShareLayerMemo = true
+			cfg.AccMemo = acc
+		}
+		x, err := New(workload.W3(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return x.Run()
+	}
+	// Trainings is evaluation-cost telemetry: with a shared accuracy memo
+	// the warm run legitimately performs zero predictor computations, so
+	// the comparison drops the counter line and keeps every search-outcome
+	// field.
+	searchOutcome := func(res *Result) string {
+		fp := outcomeFingerprint(res)
+		return fp[strings.Index(fp, "\n")+1:]
+	}
+	refRes := run(false)
+	ref := searchOutcome(refRes)
+	cold := run(true)
+	if got := searchOutcome(cold); got != ref {
+		t.Errorf("shared memos changed the outcome (cold):\n--- ref ---\n%s--- got ---\n%s", ref, got)
+	}
+	warm := run(true)
+	if got := searchOutcome(warm); got != ref {
+		t.Errorf("shared memos changed the outcome (warm):\n--- ref ---\n%s--- got ---\n%s", ref, got)
+	}
+	if cold.Pruned != refRes.Pruned || warm.Pruned != refRes.Pruned {
+		t.Errorf("pruning diverged: ref %d, cold %d, warm %d", refRes.Pruned, cold.Pruned, warm.Pruned)
+	}
+	if cold.LayerCostRequests == 0 || warm.LayerCostRequests == 0 {
+		t.Fatal("layer-cost memo saw no traffic")
+	}
+	coldPct := cold.LayerCostHitPct()
+	warmPct := warm.LayerCostHitPct()
+	if warmPct <= coldPct {
+		t.Errorf("warm run hit rate %.1f%% not above cold run %.1f%%", warmPct, coldPct)
+	}
+	if warmPct < 99.9 {
+		t.Errorf("warm run should serve ~all queries from the shared memo, got %.1f%%", warmPct)
+	}
+	if warm.Trainings != 0 {
+		t.Errorf("warm run retrained %d architectures despite the shared accuracy memo", warm.Trainings)
+	}
+	maestro.ResetSharedCostMemos()
 }
 
 // The in-batch dedup must collapse identical pending candidates even with

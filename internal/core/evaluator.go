@@ -52,8 +52,14 @@ type Evaluator struct {
 	Bounds Bounds
 
 	mu        sync.Mutex
-	accCache  map[string]float64
 	trainings int
+
+	// accMemo memoizes the training-and-validating path per ⟨dataset,
+	// architecture signature⟩. It is either this evaluator's private memo
+	// or, via Config.AccMemo, a memo shared across the evaluators of one
+	// experiment so repeat architectures are never "retrained" anywhere in
+	// the process.
+	accMemo *AccuracyMemo
 
 	// hwCache memoizes the expensive valid-design evaluations; nil when
 	// Config.HWCache is off. Cached HWMetrics are shared between callers
@@ -64,15 +70,49 @@ type Evaluator struct {
 	hwComputes stats.Counter // cost-model + HAP computations actually run
 	hwHits     stats.Counter // requests served from cache or in-flight dedup
 
-	// layerMemo memoizes the MAESTRO cost model per maestro.CostKey when
-	// Cfg.LayerCostMemo is set. A sync.Map fits the access pattern exactly:
-	// the key space is small and write-once (bounded by the workload's layer
-	// shapes times the hardware option grid), so steady-state lookups are
-	// lock-free reads shared by all evaluation workers. Duplicate computes
-	// during warm-up are harmless — the function is pure.
+	// layerMemo memoizes the MAESTRO cost model per maestro.CostKey: this
+	// evaluator's private memo with Cfg.LayerCostMemo, the process-wide
+	// maestro.SharedCostMemo with Cfg.ShareLayerMemo (warm-starting fresh
+	// evaluators), nil when both are off. The counters are per-evaluator
+	// either way, so a shared memo shows up as a near-100% hit rate on
+	// evaluators built after the first.
 	layerReqs stats.Counter // requests observed by the layer-cost memo
 	layerHits stats.Counter // requests served from the memo
-	layerMap  sync.Map      // maestro.CostKey -> maestro.LayerCost
+	layerMemo *maestro.CostMemo
+}
+
+// AccuracyMemo is a concurrency-safe accuracy-predictor memo, shareable
+// between evaluators via Config.AccMemo. The predictor is a pure function of
+// ⟨dataset, architecture⟩, so a shared memo changes which evaluator pays for
+// a computation but never its result.
+type AccuracyMemo struct {
+	mu sync.Mutex
+	m  map[string]float64
+}
+
+// NewAccuracyMemo returns an empty memo.
+func NewAccuracyMemo() *AccuracyMemo {
+	return &AccuracyMemo{m: map[string]float64{}}
+}
+
+// Size returns the number of memoized architectures.
+func (am *AccuracyMemo) Size() int {
+	am.mu.Lock()
+	defer am.mu.Unlock()
+	return len(am.m)
+}
+
+func (am *AccuracyMemo) lookup(key string) (float64, bool) {
+	am.mu.Lock()
+	defer am.mu.Unlock()
+	q, ok := am.m[key]
+	return q, ok
+}
+
+func (am *AccuracyMemo) store(key string, q float64) {
+	am.mu.Lock()
+	defer am.mu.Unlock()
+	am.m[key] = q
 }
 
 // EvalStats is a snapshot of the evaluator's work counters.
@@ -115,7 +155,16 @@ func NewEvaluator(w workload.Workload, cfg Config) (*Evaluator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	e := &Evaluator{W: w, Cfg: cfg, accCache: map[string]float64{}}
+	e := &Evaluator{W: w, Cfg: cfg, accMemo: cfg.AccMemo}
+	if e.accMemo == nil {
+		e.accMemo = NewAccuracyMemo()
+	}
+	switch {
+	case cfg.ShareLayerMemo:
+		e.layerMemo = maestro.SharedCostMemo(cfg.Cost)
+	case cfg.LayerCostMemo:
+		e.layerMemo = maestro.NewCostMemo(cfg.Cost)
+	}
 	if cfg.HWCache {
 		e.hwCache = evalcache.New[HWMetrics](evalcache.Options{
 			Capacity: cfg.HWCacheCapacity,
@@ -285,18 +334,25 @@ func (e *Evaluator) hwCompute(nets []*dnn.Network, d accel.Design) HWMetrics {
 // designs skip the MAESTRO model entirely. LayerCost is pure, so memoized
 // results are bit-identical to recomputation.
 func (e *Evaluator) layerCost(l dnn.Layer, sub accel.SubAccel) maestro.LayerCost {
-	if !e.Cfg.LayerCostMemo {
+	if e.layerMemo == nil {
 		return e.Cfg.Cost.LayerCost(l, sub.DF, sub.PEs, sub.BW)
 	}
 	e.layerReqs.Inc()
-	key := maestro.NewCostKey(l, sub.DF, sub.PEs, sub.BW)
-	if v, ok := e.layerMap.Load(key); ok {
+	lc, hit := e.layerMemo.LayerCost(l, sub.DF, sub.PEs, sub.BW)
+	if hit {
 		e.layerHits.Inc()
-		return v.(maestro.LayerCost)
 	}
-	lc := e.Cfg.Cost.LayerCost(l, sub.DF, sub.PEs, sub.BW)
-	e.layerMap.Store(key, lc)
 	return lc
+}
+
+// LayerMemoEntries reports the resident size of the evaluator's layer-cost
+// memo (the process-wide memo's size under Config.ShareLayerMemo; zero when
+// memoization is off).
+func (e *Evaluator) LayerMemoEntries() int {
+	if e.layerMemo == nil {
+		return 0
+	}
+	return e.layerMemo.Size()
 }
 
 // buildProblem assembles the HAP cost table for the given networks on the
@@ -377,13 +433,11 @@ func (e *Evaluator) Accuracies(nets []*dnn.Network) []float64 {
 	accs := make([]float64, len(nets))
 	for i, n := range nets {
 		key := e.W.Tasks[i].Dataset.String() + "|" + n.Signature()
-		e.mu.Lock()
-		q, ok := e.accCache[key]
-		e.mu.Unlock()
+		q, ok := e.accMemo.lookup(key)
 		if !ok {
 			q = predictor.Accuracy(e.W.Tasks[i].Dataset, n)
+			e.accMemo.store(key, q)
 			e.mu.Lock()
-			e.accCache[key] = q
 			e.trainings++
 			e.mu.Unlock()
 		}

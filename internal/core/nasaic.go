@@ -230,11 +230,20 @@ func (x *Explorer) Run() *Result {
 
 		// ② SA=0, SH=1 for φ steps: explore hardware for this architecture.
 		// All 1+φ hardware evaluations run in parallel (the paper's
-		// non-blocking scheme).
+		// non-blocking scheme). The φ forced rollouts share one lockstep
+		// batch through the controller's matrix-matrix fast path; the
+		// batched sampler consumes the RNG stream and computes every logit
+		// bit-identically to φ sequential SampleForced calls.
 		hwEps := make([]*rl.Episode, 0, 1+x.Cfg.HWSteps)
 		hwEps = append(hwEps, combined)
-		for i := 0; i < x.Cfg.HWSteps; i++ {
-			hwEps = append(hwEps, x.ctrl.SampleForced(archActs))
+		if x.Cfg.HWSteps > 0 {
+			if x.Cfg.BatchedController {
+				hwEps = append(hwEps, x.ctrl.SampleForcedBatch(archActs, x.Cfg.HWSteps)...)
+			} else {
+				for i := 0; i < x.Cfg.HWSteps; i++ {
+					hwEps = append(hwEps, x.ctrl.SampleForced(archActs))
+				}
+			}
 		}
 		preEval := x.eval.EvalStats()
 		preDedup := x.hwDeduped
@@ -284,9 +293,19 @@ func (x *Explorer) Run() *Result {
 		x.ctrl.Accumulate(combined, trMain.Advantage(combinedReward), x.Cfg.Gamma, batchScale)
 
 		hwScale := batchScale / float64(len(hwEps))
-		for i, he := range hwEps {
+		hwAdvs := make([]float64, len(hwEps))
+		for i := range hwEps {
 			r := -x.Cfg.Rho * x.eval.Penalty(metrics[i])
-			x.ctrl.AccumulateMasked(he, trHW.Advantage(r), x.Cfg.Gamma, hwScale, mask)
+			hwAdvs[i] = trHW.Advantage(r)
+		}
+		if x.Cfg.BatchedController {
+			// One lockstep BPTT over the whole hardware batch; the gradient
+			// adds replay in episode order, bit-identical to the loop below.
+			x.ctrl.AccumulateMaskedBatch(hwEps, hwAdvs, x.Cfg.Gamma, hwScale, mask)
+		} else {
+			for i, he := range hwEps {
+				x.ctrl.AccumulateMasked(he, hwAdvs[i], x.Cfg.Gamma, hwScale, mask)
+			}
 		}
 		// Self-imitation replay: reinforce the best complete sample so far.
 		// The best candidate's hardware actions may come from a hardware-

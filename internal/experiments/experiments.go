@@ -37,6 +37,18 @@ type Budget struct {
 	// (the zero value keeps it on). As with the cache, results are
 	// bit-identical either way.
 	DisableLayerMemo bool
+	// SharedMemo promotes the layer-cost memo to the process-wide
+	// maestro.SharedCostMemo and shares one accuracy-predictor memo across
+	// all of an experiment's searches, so the Table I/II baselines — which
+	// build a fresh evaluator per approach — start warm. Both memoize pure
+	// functions: results are bit-identical, only the reported hit rates,
+	// training counts and wall clock change.
+	SharedMemo bool
+	// SequentialController disables the controller's lockstep batched
+	// sampling/BPTT fast path (the zero value keeps it on). The batched
+	// path is bit-identical to the sequential one; this switch exists for
+	// the speedup control benchmarks.
+	SequentialController bool
 }
 
 // PaperBudget is the full-fidelity configuration of §V-A.
@@ -57,7 +69,17 @@ func (b Budget) config() core.Config {
 	cfg.Seed = b.Seed
 	cfg.HWCache = !b.DisableHWCache
 	cfg.LayerCostMemo = !b.DisableLayerMemo
+	cfg.ShareLayerMemo = b.SharedMemo
+	cfg.BatchedController = !b.SequentialController
 	return cfg
+}
+
+// accMemo returns the experiment-wide accuracy memo (nil unless SharedMemo).
+func (b Budget) accMemo() *core.AccuracyMemo {
+	if !b.SharedMemo {
+		return nil
+	}
+	return core.NewAccuracyMemo()
 }
 
 // SearchStats aggregates evaluator work across an experiment's NASAIC runs:

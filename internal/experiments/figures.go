@@ -56,6 +56,10 @@ func Fig1Workload() workload.Workload {
 func Fig1(b Budget) (*Fig1Data, error) {
 	w := Fig1Workload()
 	cfg := b.config()
+	// With Budget.SharedMemo, the NAS→ASIC sweep, the HW-NAS baseline and
+	// the Monte Carlo search (each building its own evaluator) share one
+	// accuracy memo.
+	cfg.AccMemo = b.accMemo()
 	e, err := core.NewEvaluator(w, cfg)
 	if err != nil {
 		return nil, err
@@ -129,6 +133,7 @@ type Fig6Data struct {
 // Fig6 regenerates one panel of Fig. 6 for the given workload.
 func Fig6(w workload.Workload, b Budget) (*Fig6Data, error) {
 	cfg := b.config()
+	cfg.AccMemo = b.accMemo()
 	x, err := core.New(w, cfg)
 	if err != nil {
 		return nil, err

@@ -17,8 +17,13 @@ import (
 func Table1(b Budget) ([]ApproachResult, SearchStats, error) {
 	var out []ApproachResult
 	var stats SearchStats
+	// With Budget.SharedMemo, one accuracy memo spans both workloads and
+	// every approach (the memo key includes the dataset, so cross-workload
+	// sharing is sound); the layer-cost memo is process-wide via the
+	// evaluator configuration.
+	acc := b.accMemo()
 	for _, w := range []workload.Workload{workload.W1(), workload.W2()} {
-		rows, st, err := table1Workload(w, b)
+		rows, st, err := table1Workload(w, b, acc)
 		if err != nil {
 			return nil, stats, fmt.Errorf("experiments: table 1 on %s: %w", w.Name, err)
 		}
@@ -28,8 +33,9 @@ func Table1(b Budget) ([]ApproachResult, SearchStats, error) {
 	return out, stats, nil
 }
 
-func table1Workload(w workload.Workload, b Budget) ([]ApproachResult, *core.Result, error) {
+func table1Workload(w workload.Workload, b Budget, acc *core.AccuracyMemo) ([]ApproachResult, *core.Result, error) {
 	cfg := b.config()
+	cfg.AccMemo = acc
 
 	nas, err := search.NASToASIC(w, cfg, b.NASSamples, b.HWSamples)
 	if err != nil {

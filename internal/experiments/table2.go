@@ -29,12 +29,14 @@ func Table2(b Budget) ([]ApproachResult, SearchStats, error) {
 	w3 := workload.W3()
 	sp := w3.Specs
 	cfg := b.config()
+	// One accuracy memo for all four approaches (see Table1).
+	cfg.AccMemo = b.accMemo()
 
 	var out []ApproachResult
 	var stats SearchStats
 
 	// -- NAS with maximum hardware ------------------------------------------
-	nasRow, err := table2NAS(w3, b)
+	nasRow, err := table2NAS(w3, b, cfg)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -100,8 +102,7 @@ func Table2(b Budget) ([]ApproachResult, SearchStats, error) {
 
 // table2NAS evaluates the spec-blind NAS row: the best-accuracy architecture
 // on the maximum single accelerator, running both W3 task instances.
-func table2NAS(w3 workload.Workload, b Budget) (ApproachResult, error) {
-	cfg := b.config()
+func table2NAS(w3 workload.Workload, b Budget, cfg core.Config) (ApproachResult, error) {
 	e, err := core.NewEvaluator(w3, cfg)
 	if err != nil {
 		return ApproachResult{}, err

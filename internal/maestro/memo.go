@@ -1,0 +1,74 @@
+package maestro
+
+import (
+	"sync"
+
+	"nasaic/internal/dataflow"
+	"nasaic/internal/dnn"
+)
+
+// CostMemo memoizes LayerCost for one cost-model configuration. LayerCost is
+// a pure function of ⟨layer shape, dataflow, PEs, BW⟩ given the
+// configuration, so memoized results are bit-identical to recomputation. A
+// sync.Map fits the access pattern: the key space is small and write-once
+// (bounded by the workload's layer shapes times the hardware option grid),
+// so steady-state lookups are lock-free reads shared by all evaluation
+// workers; duplicate computes during warm-up are harmless.
+type CostMemo struct {
+	cfg Config
+	m   sync.Map // CostKey -> LayerCost
+}
+
+// NewCostMemo returns an empty memo bound to cfg.
+func NewCostMemo(cfg Config) *CostMemo {
+	return &CostMemo{cfg: cfg}
+}
+
+// LayerCost returns the memoized cost of layer l on the given
+// sub-accelerator configuration, computing and storing it on a miss. The
+// second result reports whether the memo served the query without running
+// the model.
+func (cm *CostMemo) LayerCost(l dnn.Layer, style dataflow.Style, pes, bwGBs int) (LayerCost, bool) {
+	key := NewCostKey(l, style, pes, bwGBs)
+	if v, ok := cm.m.Load(key); ok {
+		return v.(LayerCost), true
+	}
+	lc := cm.cfg.LayerCost(l, style, pes, bwGBs)
+	cm.m.Store(key, lc)
+	return lc, false
+}
+
+// Size returns the number of memoized entries.
+func (cm *CostMemo) Size() int {
+	n := 0
+	cm.m.Range(func(any, any) bool { n++; return true })
+	return n
+}
+
+// sharedMemos holds one process-wide CostMemo per cost-model configuration.
+// Keying on the full Config (a comparable struct of calibration constants)
+// makes sharing safe across evaluators that might be calibrated differently:
+// two evaluators share entries only when every constant matches.
+var sharedMemos sync.Map // Config -> *CostMemo
+
+// SharedCostMemo returns the process-wide memo for cfg, creating it on first
+// use. Evaluators opting into core.Config.ShareLayerMemo route their
+// layer-cost queries here, so fresh evaluators — one per approach in the
+// Table I/II baselines — start warm with every entry earlier searches in the
+// same process already computed.
+func SharedCostMemo(cfg Config) *CostMemo {
+	if v, ok := sharedMemos.Load(cfg); ok {
+		return v.(*CostMemo)
+	}
+	v, _ := sharedMemos.LoadOrStore(cfg, NewCostMemo(cfg))
+	return v.(*CostMemo)
+}
+
+// ResetSharedCostMemos drops every process-wide memo. Intended for tests and
+// benchmarks that need a cold start.
+func ResetSharedCostMemos() {
+	sharedMemos.Range(func(k, _ any) bool {
+		sharedMemos.Delete(k)
+		return true
+	})
+}

@@ -1,0 +1,237 @@
+package nn
+
+import (
+	"fmt"
+	"testing"
+
+	"nasaic/internal/stats"
+)
+
+// Micro-benchmarks of the controller's two execution paths at the
+// experiment's scale: hidden width 48 (core.DefaultConfig), a rollout of
+// T=27 decisions (W1's decision sequence), 8-way logit heads, and batch
+// widths matching the 1+φ episodes of one exploration step. The batched
+// numbers include everything the policy-gradient loop pays for — cache
+// extraction on the forward, the episode-major gradient replay on the
+// backward — so seq vs batched ns/op is the real speedup, not a kernel-only
+// figure. CI runs these as part of the bench smoke.
+
+const (
+	benchHidden = 48
+	benchT      = 27
+	benchOpts   = 8
+)
+
+type benchNet struct {
+	lstm  *LSTM
+	heads []*Linear
+}
+
+func newBenchNet(seed int64) *benchNet {
+	rng := stats.NewRNG(seed)
+	init := func(p *Param) { p.InitXavier(rng) }
+	n := &benchNet{lstm: NewLSTM(benchHidden, benchHidden, init)}
+	for t := 0; t < benchT; t++ {
+		n.heads = append(n.heads, NewLinear(fmt.Sprintf("h%d", t), benchHidden, benchOpts, init))
+	}
+	return n
+}
+
+func benchInputs(seed int64, b int) []*Mat {
+	rng := stats.NewRNG(seed)
+	xs := make([]*Mat, benchT)
+	for t := range xs {
+		xs[t] = randMat(rng, benchHidden, b)
+	}
+	return xs
+}
+
+// forwardSeq rolls out b sequences one at a time (the pre-batching path).
+func (n *benchNet) forwardSeq(xs []*Mat, b int) ([][]*LSTMCache, [][][]float64) {
+	caches := make([][]*LSTMCache, b)
+	hs := make([][][]float64, b)
+	for e := 0; e < b; e++ {
+		caches[e] = make([]*LSTMCache, benchT)
+		hs[e] = make([][]float64, benchT)
+		st := n.lstm.ZeroState()
+		for t := 0; t < benchT; t++ {
+			st, caches[e][t] = n.lstm.Forward(xs[t].Col(e), st)
+			hs[e][t] = st.H
+			_ = n.heads[t].Forward(st.H)
+		}
+	}
+	return caches, hs
+}
+
+// forwardBatch rolls out b sequences in lockstep, including the
+// per-sequence cache extraction the sampler needs.
+func (n *benchNet) forwardBatch(xs []*Mat, b int) [][]*LSTMCache {
+	caches := make([][]*LSTMCache, benchT)
+	st := n.lstm.ZeroBatchState(b)
+	for t := 0; t < benchT; t++ {
+		var bc *LSTMBatchCache
+		st, bc = n.lstm.ForwardBatch(xs[t], st)
+		caches[t] = bc.SeqCaches()
+		_ = n.heads[t].ForwardBatch(st.H)
+	}
+	return caches
+}
+
+// bpttSeq backpropagates b sequences one at a time.
+func (n *benchNet) bpttSeq(dys []*Mat, caches [][]*LSTMCache, hs [][][]float64, b int) {
+	for e := 0; e < b; e++ {
+		dh := make([]float64, benchHidden)
+		var dc []float64
+		for t := benchT - 1; t >= 0; t-- {
+			step := n.heads[t].Backward(dys[t].Col(e), hs[e][t])
+			AccumVec(step, dh)
+			var dPrev LSTMState
+			_, dPrev = n.lstm.Backward(step, dc, caches[e][t])
+			dh, dc = dPrev.H, dPrev.C
+		}
+	}
+}
+
+// bpttBatch backpropagates b sequences in lockstep: batched flows plus the
+// episode-major parameter-gradient replay (the bit-identity contract).
+func (n *benchNet) bpttBatch(dys []*Mat, caches [][]*LSTMCache, b int) {
+	dH := NewMat(benchHidden, b)
+	var dC *Mat
+	dzs := make([]*Mat, benchT)
+	for t := benchT - 1; t >= 0; t-- {
+		dh := n.heads[t].BackwardBatchFlows(dys[t])
+		dh.Add(dH)
+		var dPrev LSTMBatchState
+		dzs[t], _, dPrev = n.lstm.BackwardBatch(dh, dC, caches[t])
+		dH, dC = dPrev.H, dPrev.C
+	}
+	xs := make([][]float64, b*benchT)
+	hps := make([][]float64, b*benchT)
+	k := 0
+	for e := 0; e < b; e++ {
+		for t := benchT - 1; t >= 0; t-- {
+			xs[k] = caches[t][e].X
+			hps[k] = caches[t][e].HPrev
+			k++
+		}
+	}
+	n.lstm.AccumBPTTGrads(dzs, xs, hps)
+	for e := 0; e < b; e++ {
+		for t := benchT - 1; t >= 0; t-- {
+			n.heads[t].AccumStepGrads(dys[t].Col(e), caches[t][e].H)
+		}
+	}
+}
+
+func zeroGrads(n *benchNet) {
+	n.lstm.Wx.ZeroGrad()
+	n.lstm.Wh.ZeroGrad()
+	n.lstm.B.ZeroGrad()
+	for _, h := range n.heads {
+		h.W.ZeroGrad()
+		h.B.ZeroGrad()
+	}
+}
+
+func benchForward(b *testing.B, batch int, batched bool) {
+	n := newBenchNet(1)
+	xs := benchInputs(2, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if batched {
+			n.forwardBatch(xs, batch)
+		} else {
+			n.forwardSeq(xs, batch)
+		}
+	}
+}
+
+func benchForwardBPTT(b *testing.B, batch int, batched bool) {
+	n := newBenchNet(1)
+	xs := benchInputs(2, batch)
+	dys := make([]*Mat, benchT)
+	rng := stats.NewRNG(3)
+	for t := range dys {
+		dys[t] = randMat(rng, benchOpts, batch)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if batched {
+			caches := n.forwardBatch(xs, batch)
+			n.bpttBatch(dys, caches, batch)
+		} else {
+			caches, hs := n.forwardSeq(xs, batch)
+			n.bpttSeq(dys, caches, hs, batch)
+		}
+		zeroGrads(n)
+	}
+}
+
+// Kernel-level benchmarks: one controller-sized matrix against eight
+// columns, batched kernel vs eight matrix-vector calls.
+
+func BenchmarkKernelMulVecX8(b *testing.B) {
+	rng := stats.NewRNG(1)
+	m := randMat(rng, 4*benchHidden, benchHidden)
+	x := randMat(rng, benchHidden, 8)
+	dst := make([]float64, 4*benchHidden)
+	col := make([]float64, benchHidden)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for e := 0; e < 8; e++ {
+			x.ColInto(col, e)
+			m.MulVecInto(dst, col)
+		}
+	}
+}
+
+func BenchmarkKernelMulMatB8(b *testing.B) {
+	rng := stats.NewRNG(1)
+	m := randMat(rng, 4*benchHidden, benchHidden)
+	x := randMat(rng, benchHidden, 8)
+	dst := NewMat(4*benchHidden, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulMatInto(dst, x)
+	}
+}
+
+func BenchmarkKernelMulTVecX8(b *testing.B) {
+	rng := stats.NewRNG(1)
+	m := randMat(rng, 4*benchHidden, benchHidden)
+	y := randMat(rng, 4*benchHidden, 8)
+	dst := make([]float64, benchHidden)
+	col := make([]float64, 4*benchHidden)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for e := 0; e < 8; e++ {
+			y.ColInto(col, e)
+			m.MulTVecInto(dst, col)
+		}
+	}
+}
+
+func BenchmarkKernelMulTMatB8(b *testing.B) {
+	rng := stats.NewRNG(1)
+	m := randMat(rng, 4*benchHidden, benchHidden)
+	y := randMat(rng, 4*benchHidden, 8)
+	dst := NewMat(benchHidden, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulTMatInto(dst, y)
+	}
+}
+
+func BenchmarkForwardSeqB8(b *testing.B)   { benchForward(b, 8, false) }
+func BenchmarkForwardBatchB8(b *testing.B) { benchForward(b, 8, true) }
+
+func BenchmarkForwardSeqB16(b *testing.B)   { benchForward(b, 16, false) }
+func BenchmarkForwardBatchB16(b *testing.B) { benchForward(b, 16, true) }
+
+func BenchmarkForwardBPTTSeqB8(b *testing.B)   { benchForwardBPTT(b, 8, false) }
+func BenchmarkForwardBPTTBatchB8(b *testing.B) { benchForwardBPTT(b, 8, true) }
+
+func BenchmarkForwardBPTTSeqB16(b *testing.B)   { benchForwardBPTT(b, 16, false) }
+func BenchmarkForwardBPTTBatchB16(b *testing.B) { benchForwardBPTT(b, 16, true) }

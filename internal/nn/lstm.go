@@ -4,11 +4,18 @@ import "math"
 
 // LSTM is a single-layer LSTM cell. Gate layout within the stacked 4H
 // dimension is [input; forget; cell candidate; output].
+//
+// Forward and ForwardBatch reuse internal scratch buffers, so concurrent
+// forward passes on the same cell are racy; clone the parameters into a
+// separate cell per goroutine if concurrent rollouts are ever needed.
 type LSTM struct {
 	InputSize, HiddenSize int
 	Wx                    *Param // 4H × I
 	Wh                    *Param // 4H × H
 	B                     *Param // 4H × 1
+
+	zx, zh   []float64 // sequential pre-activation scratch (4H)
+	bzx, bzh *Mat      // batched pre-activation scratch (4H × B)
 }
 
 // NewLSTM returns an LSTM with Xavier-initialized weights and a forget-gate
@@ -56,8 +63,12 @@ func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
 // Forward runs one time step: (x, prev) → (next state, cache).
 func (l *LSTM) Forward(x []float64, prev LSTMState) (LSTMState, *LSTMCache) {
 	H := l.HiddenSize
-	z := l.Wx.Val.MulVec(x)
-	AccumVec(z, l.Wh.Val.MulVec(prev.H))
+	if l.zx == nil {
+		l.zx = make([]float64, 4*H)
+		l.zh = make([]float64, 4*H)
+	}
+	z := l.Wx.Val.MulVecInto(l.zx, x)
+	AccumVec(z, l.Wh.Val.MulVecInto(l.zh, prev.H))
 	for i := range z {
 		z[i] += l.B.Val.W[i]
 	}
@@ -108,15 +119,23 @@ func (l *LSTM) Backward(dH, dC []float64, cache *LSTMCache) (dX []float64, dPrev
 		dz[3*H+i] = dO * cache.O[i] * (1 - cache.O[i])
 	}
 
-	l.Wx.Grad.AddOuter(dz, cache.X)
-	l.Wh.Grad.AddOuter(dz, cache.HPrev)
-	for i := range dz {
-		l.B.Grad.W[i] += dz[i]
-	}
+	l.AccumStepGrads(dz, cache.X, cache.HPrev)
 
 	dX = l.Wx.Val.MulTVec(dz)
 	dHPrev := l.Wh.Val.MulTVec(dz)
 	return dX, LSTMState{H: dHPrev, C: dCPrev}
+}
+
+// AccumStepGrads adds one (sequence, step) contribution to the parameter
+// gradients: Wx += dz·xᵀ, Wh += dz·hPrevᵀ, B += dz, in that order. Backward
+// applies it inline; the batched path replays it per sequence in the
+// sequential order so batched gradient accumulation stays bit-identical.
+func (l *LSTM) AccumStepGrads(dz, x, hPrev []float64) {
+	l.Wx.Grad.AddOuter(dz, x)
+	l.Wh.Grad.AddOuter(dz, hPrev)
+	for i := range dz {
+		l.B.Grad.W[i] += dz[i]
+	}
 }
 
 // Linear is a fully-connected layer y = W·x + b.
@@ -138,22 +157,35 @@ func NewLinear(name string, in, out int, init func(*Param)) *Linear {
 // Params returns the trainable parameters.
 func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
 
-// Forward computes y = W·x + b.
+// Forward computes y = W·x + b, allocating y.
 func (l *Linear) Forward(x []float64) []float64 {
-	y := l.W.Val.MulVec(x)
-	for i := range y {
-		y[i] += l.B.Val.W[i]
+	return l.ForwardInto(make([]float64, l.W.Val.R), x)
+}
+
+// ForwardInto computes dst = W·x + b into the caller's buffer (no
+// allocation) and returns dst.
+func (l *Linear) ForwardInto(dst, x []float64) []float64 {
+	l.W.Val.MulVecInto(dst, x)
+	for i := range dst {
+		dst[i] += l.B.Val.W[i]
 	}
-	return y
+	return dst
 }
 
 // Backward accumulates parameter gradients for dY at input x and returns dX.
 func (l *Linear) Backward(dY, x []float64) []float64 {
+	l.AccumStepGrads(dY, x)
+	return l.W.Val.MulTVec(dY)
+}
+
+// AccumStepGrads adds one (sequence, step) contribution to the parameter
+// gradients: W += dY·xᵀ then B += dY — the accumulation half of Backward,
+// replayed per sequence by the batched path.
+func (l *Linear) AccumStepGrads(dY, x []float64) {
 	l.W.Grad.AddOuter(dY, x)
 	for i := range dY {
 		l.B.Grad.W[i] += dY[i]
 	}
-	return l.W.Val.MulTVec(dY)
 }
 
 // Softmax returns the softmax of logits (numerically stabilized).

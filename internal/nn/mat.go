@@ -2,10 +2,20 @@
 // the NASAIC controller (§IV-①): dense matrices, an LSTM cell with full
 // backpropagation-through-time support, linear output heads, softmax
 // sampling, and an RMSProp optimizer matching the paper's training setup.
-// Batch size is one sequence at a time (the controller predicts one sample
-// per episode), so all operations are matrix-vector; gradients are
-// accumulated across a batch of episodes before each optimizer step, as in
-// Eq. (1).
+//
+// The package has two execution paths. The matrix-vector path (Forward,
+// Backward) steps one sequence at a time. The batched path (ForwardBatch,
+// BackwardBatch, see batch.go) steps B sequences in lockstep through blocked
+// matrix-matrix kernels, one column per sequence, and is the hot path of the
+// policy-gradient training loop: a controller batch of episodes runs as one
+// column block instead of B separate matrix-vector sweeps.
+//
+// Every batched kernel is bit-identical per column to its matrix-vector
+// counterpart — same accumulation order, same per-element operations — so
+// batched and sequential training produce identical parameters down to the
+// last bit (enforced by differential tests here and in internal/rl).
+// Gradients are accumulated across a batch of episodes before each optimizer
+// step, as in Eq. (1).
 package nn
 
 import "fmt"
@@ -46,27 +56,46 @@ func (m *Mat) Clone() *Mat {
 
 // MulVec computes y = M·x, allocating y.
 func (m *Mat) MulVec(x []float64) []float64 {
+	return m.MulVecInto(make([]float64, m.R), x)
+}
+
+// MulVecInto computes dst = M·x into the caller's buffer (no allocation) and
+// returns dst.
+func (m *Mat) MulVecInto(dst, x []float64) []float64 {
 	if len(x) != m.C {
 		panic(fmt.Sprintf("nn: MulVec shape mismatch %dx%d · %d", m.R, m.C, len(x)))
 	}
-	y := make([]float64, m.R)
+	if len(dst) != m.R {
+		panic(fmt.Sprintf("nn: MulVec destination length %d, want %d", len(dst), m.R))
+	}
 	for i := 0; i < m.R; i++ {
 		row := m.W[i*m.C : (i+1)*m.C]
 		var s float64
 		for j, v := range row {
 			s += v * x[j]
 		}
-		y[i] = s
+		dst[i] = s
 	}
-	return y
+	return dst
 }
 
 // MulTVec computes x = Mᵀ·y, allocating x.
 func (m *Mat) MulTVec(y []float64) []float64 {
+	return m.MulTVecInto(make([]float64, m.C), y)
+}
+
+// MulTVecInto computes dst = Mᵀ·y into the caller's buffer (no allocation)
+// and returns dst.
+func (m *Mat) MulTVecInto(dst, y []float64) []float64 {
 	if len(y) != m.R {
 		panic(fmt.Sprintf("nn: MulTVec shape mismatch %dx%d ᵀ· %d", m.R, m.C, len(y)))
 	}
-	x := make([]float64, m.C)
+	if len(dst) != m.C {
+		panic(fmt.Sprintf("nn: MulTVec destination length %d, want %d", len(dst), m.C))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
 	for i := 0; i < m.R; i++ {
 		yi := y[i]
 		if yi == 0 {
@@ -74,10 +103,172 @@ func (m *Mat) MulTVec(y []float64) []float64 {
 		}
 		row := m.W[i*m.C : (i+1)*m.C]
 		for j, v := range row {
-			x[j] += v * yi
+			dst[j] += v * yi
 		}
 	}
-	return x
+	return dst
+}
+
+// MulMatInto computes dst = M·X, where X is C×B and dst is R×B: B
+// matrix-vector products run as one register-blocked kernel. Columns are
+// processed in blocks of eight whose accumulators live in registers across
+// the whole reduction, so the loop runs eight independent fused
+// multiply-add chains per M element load instead of MulVec's single
+// latency-bound chain. Column b of dst is bit-identical to M.MulVec(column
+// b of X): every output element accumulates over j in ascending order into
+// a single sum, exactly as MulVec does. dst must not alias m or x.
+func (m *Mat) MulMatInto(dst, x *Mat) *Mat {
+	if x.R != m.C {
+		panic(fmt.Sprintf("nn: MulMat shape mismatch %dx%d · %dx%d", m.R, m.C, x.R, x.C))
+	}
+	if dst.R != m.R || dst.C != x.C {
+		panic(fmt.Sprintf("nn: MulMat destination %dx%d, want %dx%d", dst.R, dst.C, m.R, x.C))
+	}
+	b := x.C
+	xw := x.W
+	for i := 0; i < m.R; i++ {
+		row := m.W[i*m.C : (i+1)*m.C]
+		out := dst.W[i*b : (i+1)*b]
+		e := 0
+		if simdEnabled {
+			for ; e+8 <= b; e += 8 {
+				dotBlock8(&row[0], 1, &xw[e], b, m.C, &out[e])
+			}
+			for ; e+4 <= b; e += 4 {
+				dotBlock4(&row[0], 1, &xw[e], b, m.C, &out[e])
+			}
+		}
+		for ; e+8 <= b; e += 8 {
+			var s0, s1, s2, s3, s4, s5, s6, s7 float64
+			for j, v := range row {
+				xr := xw[j*b+e : j*b+e+8 : j*b+e+8]
+				s0 += v * xr[0]
+				s1 += v * xr[1]
+				s2 += v * xr[2]
+				s3 += v * xr[3]
+				s4 += v * xr[4]
+				s5 += v * xr[5]
+				s6 += v * xr[6]
+				s7 += v * xr[7]
+			}
+			o := out[e : e+8 : e+8]
+			o[0], o[1], o[2], o[3], o[4], o[5], o[6], o[7] = s0, s1, s2, s3, s4, s5, s6, s7
+		}
+		for ; e+4 <= b; e += 4 {
+			var s0, s1, s2, s3 float64
+			for j, v := range row {
+				xr := xw[j*b+e : j*b+e+4 : j*b+e+4]
+				s0 += v * xr[0]
+				s1 += v * xr[1]
+				s2 += v * xr[2]
+				s3 += v * xr[3]
+			}
+			o := out[e : e+4 : e+4]
+			o[0], o[1], o[2], o[3] = s0, s1, s2, s3
+		}
+		for ; e < b; e++ {
+			var s float64
+			for j, v := range row {
+				s += v * xw[j*b+e]
+			}
+			out[e] = s
+		}
+	}
+	return dst
+}
+
+// MulTMatInto computes dst = Mᵀ·Y, where Y is R×B and dst is C×B, with the
+// same register-blocked column scheme as MulMatInto (j outer so the
+// accumulators stay in registers over the i reduction). Column b of dst is
+// bit-identical to M.MulTVec(column b of Y): contributions to each output
+// element accumulate over i in ascending order into a single sum. MulTVec
+// additionally skips zero y rows — an optimization, not a semantic: with
+// finite inputs (all this package ever produces; CheckFinite guards the
+// parameters) adding the skipped ±0 products to an accumulator that starts
+// at +0 cannot change a single bit, which the kernel fuzz targets verify.
+// dst must not alias m or y.
+func (m *Mat) MulTMatInto(dst, y *Mat) *Mat {
+	if y.R != m.R {
+		panic(fmt.Sprintf("nn: MulTMat shape mismatch %dx%d ᵀ· %dx%d", m.R, m.C, y.R, y.C))
+	}
+	if dst.R != m.C || dst.C != y.C {
+		panic(fmt.Sprintf("nn: MulTMat destination %dx%d, want %dx%d", dst.R, dst.C, m.C, y.C))
+	}
+	b := y.C
+	c := m.C
+	yw := y.W
+	mw := m.W
+	for j := 0; j < c; j++ {
+		out := dst.W[j*b : (j+1)*b]
+		e := 0
+		if simdEnabled {
+			for ; e+8 <= b; e += 8 {
+				dotBlock8(&mw[j], c, &yw[e], b, m.R, &out[e])
+			}
+			for ; e+4 <= b; e += 4 {
+				dotBlock4(&mw[j], c, &yw[e], b, m.R, &out[e])
+			}
+		}
+		for ; e+8 <= b; e += 8 {
+			var s0, s1, s2, s3, s4, s5, s6, s7 float64
+			for i := 0; i < m.R; i++ {
+				v := mw[i*c+j]
+				yr := yw[i*b+e : i*b+e+8 : i*b+e+8]
+				s0 += v * yr[0]
+				s1 += v * yr[1]
+				s2 += v * yr[2]
+				s3 += v * yr[3]
+				s4 += v * yr[4]
+				s5 += v * yr[5]
+				s6 += v * yr[6]
+				s7 += v * yr[7]
+			}
+			o := out[e : e+8 : e+8]
+			o[0], o[1], o[2], o[3], o[4], o[5], o[6], o[7] = s0, s1, s2, s3, s4, s5, s6, s7
+		}
+		for ; e+4 <= b; e += 4 {
+			var s0, s1, s2, s3 float64
+			for i := 0; i < m.R; i++ {
+				v := mw[i*c+j]
+				yr := yw[i*b+e : i*b+e+4 : i*b+e+4]
+				s0 += v * yr[0]
+				s1 += v * yr[1]
+				s2 += v * yr[2]
+				s3 += v * yr[3]
+			}
+			o := out[e : e+4 : e+4]
+			o[0], o[1], o[2], o[3] = s0, s1, s2, s3
+		}
+		for ; e < b; e++ {
+			var s float64
+			for i := 0; i < m.R; i++ {
+				s += mw[i*c+j] * yw[i*b+e]
+			}
+			out[e] = s
+		}
+	}
+	return dst
+}
+
+// Transpose returns a new C×R matrix with Mᵀ's elements.
+func (m *Mat) Transpose() *Mat {
+	out := NewMat(m.C, m.R)
+	for i := 0; i < m.R; i++ {
+		for j := 0; j < m.C; j++ {
+			out.W[j*m.R+i] = m.W[i*m.C+j]
+		}
+	}
+	return out
+}
+
+// Add accumulates M += other elementwise.
+func (m *Mat) Add(other *Mat) {
+	if m.R != other.R || m.C != other.C {
+		panic(fmt.Sprintf("nn: Add shape mismatch %dx%d += %dx%d", m.R, m.C, other.R, other.C))
+	}
+	for i, v := range other.W {
+		m.W[i] += v
+	}
 }
 
 // AddOuter accumulates M += y·xᵀ.
@@ -99,14 +290,44 @@ func (m *Mat) AddOuter(y, x []float64) {
 
 // Col returns a copy of column j.
 func (m *Mat) Col(j int) []float64 {
+	return m.ColInto(make([]float64, m.R), j)
+}
+
+// ColInto copies column j into the caller's buffer and returns it.
+func (m *Mat) ColInto(dst []float64, j int) []float64 {
 	if j < 0 || j >= m.C {
 		panic(fmt.Sprintf("nn: column %d out of range [0,%d)", j, m.C))
 	}
-	out := make([]float64, m.R)
-	for i := 0; i < m.R; i++ {
-		out[i] = m.At(i, j)
+	if len(dst) != m.R {
+		panic(fmt.Sprintf("nn: column destination length %d, want %d", len(dst), m.R))
 	}
-	return out
+	for i := 0; i < m.R; i++ {
+		dst[i] = m.W[i*m.C+j]
+	}
+	return dst
+}
+
+// SetCol assigns column j = v.
+func (m *Mat) SetCol(j int, v []float64) {
+	if len(v) != m.R {
+		panic("nn: SetCol length mismatch")
+	}
+	for i := 0; i < m.R; i++ {
+		m.W[i*m.C+j] = v[i]
+	}
+}
+
+// CopyColFrom assigns column dstCol = column srcCol of src.
+func (m *Mat) CopyColFrom(dstCol int, src *Mat, srcCol int) {
+	if src.R != m.R {
+		panic(fmt.Sprintf("nn: CopyColFrom row mismatch %d vs %d", m.R, src.R))
+	}
+	if dstCol < 0 || dstCol >= m.C || srcCol < 0 || srcCol >= src.C {
+		panic("nn: CopyColFrom column out of range")
+	}
+	for i := 0; i < m.R; i++ {
+		m.W[i*m.C+dstCol] = src.W[i*src.C+srcCol]
+	}
 }
 
 // AddCol accumulates column j += v.

@@ -1,0 +1,49 @@
+//go:build amd64
+
+package nn
+
+// AVX fast path for the batched column-block kernels (simd_amd64.s). The
+// vector lanes compute independent per-column accumulation chains with
+// separate multiply and add (no FMA contraction), so results are
+// bit-identical to the pure-Go kernels — verified by the fallback
+// differential tests and the kernel fuzz targets. Detection follows the
+// standard protocol: OSXSAVE + AVX in CPUID.1:ECX, YMM state enabled in
+// XCR0.
+
+//go:noescape
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+//go:noescape
+func xgetbv0() (eax, edx uint32)
+
+//go:noescape
+func dotBlock8(a *float64, astride int, x *float64, xstride int, n int, dst *float64)
+
+//go:noescape
+func dotBlock4(a *float64, astride int, x *float64, xstride int, n int, dst *float64)
+
+//go:noescape
+func accumBlock8(a *float64, astride int, x *float64, xstride int, n int, dst *float64)
+
+//go:noescape
+func accumBlock4(a *float64, astride int, x *float64, xstride int, n int, dst *float64)
+
+var simdEnabled = detectAVX()
+
+func detectAVX() bool {
+	maxLeaf, _, _, _ := cpuidex(0, 0)
+	if maxLeaf < 1 {
+		return false
+	}
+	_, _, ecx, _ := cpuidex(1, 0)
+	const (
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	if ecx&osxsaveBit == 0 || ecx&avxBit == 0 {
+		return false
+	}
+	// The OS must have enabled XMM and YMM state saving (XCR0 bits 1 and 2).
+	eax, _ := xgetbv0()
+	return eax&0x6 == 0x6
+}

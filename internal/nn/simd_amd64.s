@@ -1,0 +1,165 @@
+// AVX column-block kernels for the batched matrix path. Each 256-bit lane
+// runs one output column's accumulation chain: VMULPD then VADDPD round
+// exactly like the scalar mul-then-add in the pure-Go kernels (no FMA
+// contraction), so the asm path is bit-identical per element — the property
+// the batched controller's differential tests pin down.
+
+#include "textflag.h"
+
+// func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func dotBlock8(a *float64, astride int, x *float64, xstride int, n int, dst *float64)
+//
+// dst[0:8] = Σ_{k<n} a[k*astride] · x[k*xstride : k*xstride+8]
+//
+// Strides are in elements. Every lane is an independent single-accumulator
+// chain over k ascending, mirroring the scalar kernels.
+TEXT ·dotBlock8(SB), NOSPLIT, $0-48
+	MOVQ a+0(FP), SI
+	MOVQ astride+8(FP), R8
+	MOVQ x+16(FP), DI
+	MOVQ xstride+24(FP), R9
+	MOVQ n+32(FP), CX
+	MOVQ dst+40(FP), DX
+	SHLQ $3, R8
+	SHLQ $3, R9
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	TESTQ CX, CX
+	JZ   dot8done
+
+dot8loop:
+	VBROADCASTSD (SI), Y2
+	VMOVUPD (DI), Y3
+	VMOVUPD 32(DI), Y4
+	VMULPD  Y3, Y2, Y3
+	VMULPD  Y4, Y2, Y4
+	VADDPD  Y3, Y0, Y0
+	VADDPD  Y4, Y1, Y1
+	ADDQ R8, SI
+	ADDQ R9, DI
+	DECQ CX
+	JNZ  dot8loop
+
+dot8done:
+	VMOVUPD Y0, (DX)
+	VMOVUPD Y1, 32(DX)
+	VZEROUPPER
+	RET
+
+// func dotBlock4(a *float64, astride int, x *float64, xstride int, n int, dst *float64)
+//
+// dst[0:4] = Σ_{k<n} a[k*astride] · x[k*xstride : k*xstride+4]
+TEXT ·dotBlock4(SB), NOSPLIT, $0-48
+	MOVQ a+0(FP), SI
+	MOVQ astride+8(FP), R8
+	MOVQ x+16(FP), DI
+	MOVQ xstride+24(FP), R9
+	MOVQ n+32(FP), CX
+	MOVQ dst+40(FP), DX
+	SHLQ $3, R8
+	SHLQ $3, R9
+	VXORPD Y0, Y0, Y0
+	TESTQ CX, CX
+	JZ   dot4done
+
+dot4loop:
+	VBROADCASTSD (SI), Y2
+	VMOVUPD (DI), Y3
+	VMULPD  Y3, Y2, Y3
+	VADDPD  Y3, Y0, Y0
+	ADDQ R8, SI
+	ADDQ R9, DI
+	DECQ CX
+	JNZ  dot4loop
+
+dot4done:
+	VMOVUPD Y0, (DX)
+	VZEROUPPER
+	RET
+
+// func accumBlock8(a *float64, astride int, x *float64, xstride int, n int, dst *float64)
+//
+// dst[0:8] += Σ_{k<n} a[k*astride] · x[k*xstride : k*xstride+8], with the
+// existing dst values as the heads of the accumulation chains (the replayed
+// gradient-add order).
+TEXT ·accumBlock8(SB), NOSPLIT, $0-48
+	MOVQ a+0(FP), SI
+	MOVQ astride+8(FP), R8
+	MOVQ x+16(FP), DI
+	MOVQ xstride+24(FP), R9
+	MOVQ n+32(FP), CX
+	MOVQ dst+40(FP), DX
+	SHLQ $3, R8
+	SHLQ $3, R9
+	VMOVUPD (DX), Y0
+	VMOVUPD 32(DX), Y1
+	TESTQ CX, CX
+	JZ   acc8done
+
+acc8loop:
+	VBROADCASTSD (SI), Y2
+	VMOVUPD (DI), Y3
+	VMOVUPD 32(DI), Y4
+	VMULPD  Y3, Y2, Y3
+	VMULPD  Y4, Y2, Y4
+	VADDPD  Y3, Y0, Y0
+	VADDPD  Y4, Y1, Y1
+	ADDQ R8, SI
+	ADDQ R9, DI
+	DECQ CX
+	JNZ  acc8loop
+
+acc8done:
+	VMOVUPD Y0, (DX)
+	VMOVUPD Y1, 32(DX)
+	VZEROUPPER
+	RET
+
+// func accumBlock4(a *float64, astride int, x *float64, xstride int, n int, dst *float64)
+//
+// dst[0:4] += Σ_{k<n} a[k*astride] · x[k*xstride : k*xstride+4]
+TEXT ·accumBlock4(SB), NOSPLIT, $0-48
+	MOVQ a+0(FP), SI
+	MOVQ astride+8(FP), R8
+	MOVQ x+16(FP), DI
+	MOVQ xstride+24(FP), R9
+	MOVQ n+32(FP), CX
+	MOVQ dst+40(FP), DX
+	SHLQ $3, R8
+	SHLQ $3, R9
+	VMOVUPD (DX), Y0
+	TESTQ CX, CX
+	JZ   acc4done
+
+acc4loop:
+	VBROADCASTSD (SI), Y2
+	VMOVUPD (DI), Y3
+	VMULPD  Y3, Y2, Y3
+	VADDPD  Y3, Y0, Y0
+	ADDQ R8, SI
+	ADDQ R9, DI
+	DECQ CX
+	JNZ  acc4loop
+
+acc4done:
+	VMOVUPD Y0, (DX)
+	VZEROUPPER
+	RET

@@ -49,6 +49,15 @@ func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
 // must be non-negative; it is normalized internally so callers may pass
 // unnormalized weights. It panics if p is empty or sums to zero.
 func (g *RNG) Categorical(p []float64) int {
+	return CategoricalU(g.r.Float64(), p)
+}
+
+// CategoricalU samples an index from p using the externally drawn uniform
+// u0 ∈ [0,1). It is the deterministic core of Categorical: batched samplers
+// pre-draw their uniforms in the sequential call order and delegate here, so
+// a lockstep batch consumes the RNG stream — and picks actions —
+// bit-identically to the equivalent sequential draws.
+func CategoricalU(u0 float64, p []float64) int {
 	if len(p) == 0 {
 		panic("stats: Categorical on empty distribution")
 	}
@@ -62,7 +71,7 @@ func (g *RNG) Categorical(p []float64) int {
 	if sum == 0 {
 		panic("stats: Categorical with zero-mass distribution")
 	}
-	u := g.r.Float64() * sum
+	u := u0 * sum
 	acc := 0.0
 	for i, v := range p {
 		acc += v
