@@ -11,6 +11,7 @@
 package nasaic
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
@@ -50,7 +51,7 @@ func reportSearchStats(b *testing.B, st experiments.SearchStats) {
 // workloads W1 and W2.
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, stats, err := experiments.Table1(experiments.QuickBudget())
+		rows, stats, err := experiments.Table1(context.Background(), experiments.QuickBudget())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -78,7 +79,7 @@ func BenchmarkTable1NoCache(b *testing.B) {
 	budget := experiments.QuickBudget()
 	budget.DisableHWCache = true
 	for i := 0; i < b.N; i++ {
-		_, stats, err := experiments.Table1(budget)
+		_, stats, err := experiments.Table1(context.Background(), budget)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -95,7 +96,7 @@ func BenchmarkTable1SharedMemo(b *testing.B) {
 	budget := experiments.QuickBudget()
 	budget.SharedMemo = true
 	for i := 0; i < b.N; i++ {
-		_, stats, err := experiments.Table1(budget)
+		_, stats, err := experiments.Table1(context.Background(), budget)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -107,7 +108,7 @@ func BenchmarkTable1SharedMemo(b *testing.B) {
 // heterogeneous accelerator configurations on W3.
 func BenchmarkTable2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, stats, err := experiments.Table2(experiments.QuickBudget())
+		rows, stats, err := experiments.Table2(context.Background(), experiments.QuickBudget())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -125,7 +126,7 @@ func BenchmarkTable2NoCache(b *testing.B) {
 	budget := experiments.QuickBudget()
 	budget.DisableHWCache = true
 	for i := 0; i < b.N; i++ {
-		_, stats, err := experiments.Table2(budget)
+		_, stats, err := experiments.Table2(context.Background(), budget)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -136,7 +137,7 @@ func BenchmarkTable2NoCache(b *testing.B) {
 // BenchmarkFig1 regenerates the motivating CIFAR-10 design-space study.
 func BenchmarkFig1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		d, err := experiments.Fig1(experiments.QuickBudget())
+		d, err := experiments.Fig1(context.Background(), experiments.QuickBudget())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -157,7 +158,7 @@ func BenchmarkFig1(b *testing.B) {
 
 func benchFig6(b *testing.B, idx int, w workload.Workload) {
 	for i := 0; i < b.N; i++ {
-		d, err := experiments.Fig6(w, experiments.QuickBudget())
+		d, err := experiments.Fig6(context.Background(), w, experiments.QuickBudget())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,4 +1,5 @@
-// Command compare regenerates the paper's comparison tables:
+// Command compare regenerates the paper's comparison tables through the
+// public pkg/nasaic API:
 //
 //	compare -table 1    # Table I: NAS→ASIC vs ASIC→HW-NAS vs NASAIC (W1, W2)
 //	compare -table 2    # Table II: single vs homogeneous vs heterogeneous (W3)
@@ -9,12 +10,15 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 
-	"nasaic/internal/experiments"
-	"nasaic/internal/export"
+	"nasaic/pkg/nasaic"
 )
 
 func main() {
@@ -29,24 +33,27 @@ func main() {
 	)
 	flag.Parse()
 
-	b := experiments.QuickBudget()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	b := nasaic.QuickBudget()
 	if *paper {
-		b = experiments.PaperBudget()
+		b = nasaic.PaperBudget()
 	}
 	b.Seed = *seed
 	b.DisableHWCache = !*hwcache
 	b.SharedMemo = *sharedmemo
 	b.SequentialController = !*batchrl
 
-	printStats := func(stats experiments.SearchStats) {
+	printStats := func(stats nasaic.ExperimentStats) {
 		fmt.Printf("\nNASAIC evaluator work: %d hardware evaluations for %d requests (%.1f%% cache hits, %d in-batch dedups), %d trainings\n",
-			stats.HWEvals, stats.HWRequests, stats.HitPct(), stats.HWDeduped, stats.Trainings)
+			stats.HWEvals, stats.HWRequests, stats.HWCacheHitPct(), stats.HWDeduped, stats.Trainings)
 		scope := "per-run"
 		if *sharedmemo {
 			scope = "shared process-wide, warm-start"
 		}
 		fmt.Printf("layer-cost memo (%s): %d of %d cost-model queries served (%.1f%%)\n",
-			scope, stats.LayerCostHits, stats.LayerCostRequests, stats.LayerHitPct())
+			scope, stats.LayerCostHits, stats.LayerCostRequests, stats.LayerCostHitPct())
 		mode := "batched (lockstep matrix-matrix)"
 		if !*batchrl {
 			mode = "sequential (matrix-vector)"
@@ -56,33 +63,32 @@ func main() {
 
 	switch *table {
 	case 1:
-		rows, stats, err := experiments.Table1(b)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		experiments.RenderTable1(os.Stdout, rows)
-		printStats(stats)
+		// Buffer the CSV and only touch the target file after the searches
+		// succeed, so a failed or interrupted run cannot truncate a
+		// previously exported copy.
+		var csvBuf bytes.Buffer
+		var csvW io.Writer
 		if *csv != "" {
-			f, err := os.Create(*csv)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			defer f.Close()
-			header, body := experiments.Table1CSV(rows)
-			if err := export.CSV(f, header, body); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
+			csvW = &csvBuf
 		}
-	case 2:
-		rows, stats, err := experiments.Table2(b)
+		stats, err := nasaic.Table1(ctx, b, os.Stdout, csvW)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		experiments.RenderTable2(os.Stdout, rows)
+		if *csv != "" {
+			if err := os.WriteFile(*csv, csvBuf.Bytes(), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		printStats(stats)
+	case 2:
+		stats, err := nasaic.Table2(ctx, b, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		printStats(stats)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown table %d (want 1 or 2)\n", *table)

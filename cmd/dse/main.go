@@ -1,4 +1,5 @@
-// Command dse regenerates the paper's design-space exploration figures:
+// Command dse regenerates the paper's design-space exploration figures
+// through the public pkg/nasaic API:
 //
 //	dse -fig 1                    # Fig. 1: motivating CIFAR-10 study
 //	dse -fig 6 -workload W1       # Fig. 6 panels (W1, W2 or W3)
@@ -8,15 +9,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
+	"os/signal"
 
-	"nasaic/internal/experiments"
-	"nasaic/internal/export"
 	"nasaic/internal/profiling"
-	"nasaic/internal/workload"
+	"nasaic/pkg/nasaic"
 )
 
 func main() {
@@ -49,9 +49,12 @@ func main() {
 		os.Exit(code)
 	}
 
-	b := experiments.QuickBudget()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	b := nasaic.QuickBudget()
 	if *paper {
-		b = experiments.PaperBudget()
+		b = nasaic.PaperBudget()
 	}
 	b.Seed = *seed
 	b.DisableHWCache = !*hwcache
@@ -59,63 +62,20 @@ func main() {
 	b.SharedMemo = *sharedmemo
 	b.SequentialController = !*batchrl
 
-	writeCSV := func(name string, header []string, rows [][]string) {
-		if *out == "" {
-			return
-		}
-		if err := os.MkdirAll(*out, 0o755); err != nil {
-			fail(1, err)
-		}
-		path := filepath.Join(*out, name)
-		f, err := os.Create(path)
-		if err != nil {
-			fail(1, err)
-		}
-		defer f.Close()
-		if err := export.CSV(f, header, rows); err != nil {
-			fail(1, err)
-		}
-		fmt.Printf("wrote %s\n", path)
-	}
-
 	switch *fig {
 	case 1:
-		d, err := experiments.Fig1(b)
-		if err != nil {
+		if err := nasaic.Fig1(ctx, b, os.Stdout, *out); err != nil {
 			fail(1, err)
 		}
-		experiments.RenderFig1(os.Stdout, d)
-		h, rows := experiments.PointsCSV(d.NASASIC, "nas_asic")
-		extra := []experiments.MetricPoint{d.HWNAS}
-		if d.Heuristic != nil {
-			extra = append(extra, *d.Heuristic)
-		}
-		if d.Optimal != nil {
-			extra = append(extra, *d.Optimal)
-		}
-		_, extraRows := experiments.PointsCSV(extra, "highlight")
-		writeCSV("fig1.csv", h, append(rows, extraRows...))
 	case 6:
-		w, err := workload.ByName(*wName)
-		if err != nil {
-			fail(2, err)
-		}
-		d, err := experiments.Fig6(w, b)
+		st, err := nasaic.Fig6(ctx, *wName, b, os.Stdout, *out)
 		if err != nil {
 			fail(1, err)
 		}
-		experiments.RenderFig6(os.Stdout, d)
-		st := d.Stats
 		fmt.Printf("evaluator work: %d hardware evaluations for %d requests (%.1f%% cache hits, %d in-batch dedups)\n",
-			st.HWEvals, st.HWRequests, st.HitPct(), st.HWDeduped)
+			st.HWEvals, st.HWRequests, st.HWCacheHitPct(), st.HWDeduped)
 		fmt.Printf("layer-cost memo: %d of %d cost-model queries served (%.1f%%)\n",
-			st.LayerCostHits, st.LayerCostRequests, st.LayerHitPct())
-		h, rows := experiments.PointsCSV(d.Explored, "explored")
-		_, lbRows := experiments.PointsCSV(d.LowerBounds, "lower_bound")
-		_, bestRows := experiments.PointsCSV([]experiments.MetricPoint{d.Best}, "best")
-		rows = append(rows, lbRows...)
-		rows = append(rows, bestRows...)
-		writeCSV(fmt.Sprintf("fig6_%s.csv", w.Name), h, rows)
+			st.LayerCostHits, st.LayerCostRequests, st.LayerCostHitPct())
 	default:
 		fail(2, fmt.Sprintf("unknown figure %d (want 1 or 6)", *fig))
 	}

@@ -1,22 +1,23 @@
 // Command nasaic runs the NASAIC co-exploration for one of the paper's
 // workloads and reports the best identified (architectures, accelerator)
-// pair together with the exploration statistics.
+// pair together with the exploration statistics. It is a thin shell over the
+// public pkg/nasaic API — the same code path cmd/nasaicd serves over HTTP.
 //
 // Usage:
 //
-//	nasaic -workload W1 [-episodes 500] [-seed 1] [-top 5] [-quiet]
+//	nasaic -workload W1 [-episodes 500] [-seed 1] [-top 5] [-quiet] [-progress]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
-	"nasaic/internal/core"
 	"nasaic/internal/export"
 	"nasaic/internal/profiling"
-	"nasaic/internal/sched"
-	"nasaic/internal/workload"
+	"nasaic/pkg/nasaic"
 )
 
 func main() {
@@ -27,6 +28,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed (runs are deterministic per seed)")
 		top        = flag.Int("top", 5, "how many explored solutions to print")
 		quiet      = flag.Bool("quiet", false, "print only the best solution line")
+		progress   = flag.Bool("progress", false, "stream per-episode progress lines to stderr")
 		optim      = flag.String("optimizer", "rl", "search strategy: rl (the paper's RNN controller) or ea (evolutionary)")
 		trace      = flag.Bool("trace", false, "print the best solution's layer-to-sub-accelerator schedule")
 		hwcache    = flag.Bool("hwcache", true, "memoize hardware evaluations (results are identical either way)")
@@ -52,89 +54,80 @@ func main() {
 		os.Exit(code)
 	}
 
-	w, err := workload.ByName(*wName)
-	if err != nil {
-		fail(2, err)
-	}
-	cfg := core.DefaultConfig()
-	cfg.Episodes = *episodes
-	cfg.HWSteps = *hwSteps
-	cfg.Seed = *seed
-	cfg.HWCache = *hwcache
-	cfg.LayerCostMemo = *layermemo
-	cfg.ShareLayerMemo = *sharedmemo
-	cfg.BatchedController = *batchrl
+	// Ctrl-C cancels the search promptly; the partial result is discarded
+	// (use cmd/nasaicd for resumable streaming of long runs).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
-	x, err := core.New(w, cfg)
+	opts := []nasaic.Option{
+		nasaic.WithWorkload(*wName),
+		nasaic.WithEpisodes(*episodes),
+		nasaic.WithHWSteps(*hwSteps),
+		nasaic.WithSeed(*seed),
+		nasaic.WithOptimizer(nasaic.Optimizer(*optim)),
+		nasaic.WithHWCache(*hwcache),
+		nasaic.WithLayerCostMemo(*layermemo),
+		nasaic.WithProcessSharedLayerMemo(*sharedmemo),
+		nasaic.WithBatchedController(*batchrl),
+	}
+	if *progress {
+		opts = append(opts, nasaic.WithEventHandler(func(e nasaic.Event) {
+			best := ""
+			if e.Best != nil {
+				best = fmt.Sprintf("  best=%.4f", e.Best.WeightedAccuracy)
+			}
+			fmt.Fprintf(os.Stderr, "episode %d  reward=%.4f  feasible=%v%s\n",
+				e.Episode, e.Reward, e.Feasible, best)
+		}))
+	}
+
+	if !*quiet {
+		fmt.Printf("NASAIC co-exploration on %s  episodes=%d  phi=%d  seed=%d  optimizer=%s\n",
+			*wName, *episodes, *hwSteps, *seed, *optim)
+	}
+	res, err := nasaic.Run(ctx, opts...)
 	if err != nil {
 		fail(1, err)
 	}
-	if !*quiet {
-		fmt.Printf("NASAIC co-exploration on %s  specs=%s  episodes=%d  phi=%d  seed=%d  optimizer=%s\n",
-			w.Name, w.Specs, cfg.Episodes, cfg.HWSteps, cfg.Seed, *optim)
-	}
-	var res *core.Result
-	switch *optim {
-	case "rl":
-		res = x.Run()
-	case "ea":
-		ec := core.DefaultEvolutionConfig()
-		// Match the RL budget: Population x Generations ~ Episodes x (1+phi).
-		ec.Generations = cfg.Episodes * (1 + cfg.HWSteps) / ec.Population
-		if ec.Generations < 1 {
-			ec.Generations = 1
-		}
-		res = x.RunEvolution(ec)
-	default:
-		fail(2, fmt.Sprintf("unknown optimizer %q (want rl or ea)", *optim))
-	}
 	if res.Best == nil {
-		fmt.Printf("no feasible solution found in %d episodes (pruned %d)\n", cfg.Episodes, res.Pruned)
+		fmt.Printf("no feasible solution found in %d episodes (pruned %d)\n",
+			res.Episodes, res.Stats.PrunedEpisodes)
 		stopProf()
 		os.Exit(1)
 	}
 
 	best := res.Best
 	fmt.Printf("best: %s\n", best.Design)
-	for i, t := range w.Tasks {
+	for _, t := range best.Tasks {
 		fmt.Printf("  %-14s %s = %s  arch %s\n",
-			t.Dataset.String(), t.Dataset.Metric(), export.Pct(best.Accuracies[i]),
-			t.Space.ValuesString(best.ArchChoices[i]))
+			t.Dataset, t.Metric, export.Pct(t.Accuracy), t.Architecture)
 	}
 	fmt.Printf("  latency %s cycles   energy %s nJ   area %s um2   (specs %s)\n",
-		export.Sci(float64(best.Latency)), export.Sci(best.EnergyNJ),
-		export.Sci(best.AreaUM2), w.Specs)
+		export.Sci(float64(best.LatencyCycles)), export.Sci(best.EnergyNJ),
+		export.Sci(best.AreaUM2), res.Specs)
 	if *trace {
-		problem, _, placements, err := x.Evaluator().Schedule(best.Networks, best.Design)
-		if err != nil {
+		fmt.Println()
+		if err := res.RenderSchedule(os.Stdout, 96); err != nil {
 			fail(1, err)
 		}
-		fmt.Println()
-		sched.RenderGantt(os.Stdout, problem, placements, 96)
 	}
 	if *quiet {
 		return
 	}
 
+	st := res.Stats
 	fmt.Printf("\nexploration: %d feasible solutions, %d episodes pruned, %d trainings, %d hardware evaluations\n",
-		len(res.Explored), res.Pruned, res.Trainings, res.HWEvals)
+		len(res.Explored), st.PrunedEpisodes, st.Trainings, st.HWEvals)
 	fmt.Printf("hw-eval cache: %d of %d requests served from cache (%.1f%%), %d in-batch dedups\n",
-		res.HWCacheHits, res.HWRequests, res.HWCacheHitPct(), res.HWDeduped)
+		st.HWCacheHits, st.HWRequests, st.HWCacheHitPct(), st.HWDeduped)
 	fmt.Printf("layer-cost memo: %d of %d cost-model queries served from memo (%.1f%%)\n",
-		res.LayerCostHits, res.LayerCostRequests, res.LayerCostHitPct())
-	if *sharedmemo {
-		fmt.Printf("  shared process-wide memo: %d resident entries\n", x.Evaluator().LayerMemoEntries())
-	}
+		st.LayerCostHits, st.LayerCostRequests, st.LayerCostHitPct())
 	if *optim == "rl" {
 		mode := "batched (lockstep batch of 1+phi episodes)"
 		if !*batchrl {
 			mode = "sequential (one episode at a time)"
 		}
 		fmt.Printf("controller: %s policy-gradient path\n", mode)
-	}
-	if cs := x.Evaluator().CacheStats(); cs.Requests() > 0 {
-		fmt.Printf("  cache detail: %d resident entries, %d evictions, %d in-flight dedups\n",
-			cs.Size, cs.Evictions, cs.Dedups)
 	}
 	n := *top
 	if n > len(res.Explored) {

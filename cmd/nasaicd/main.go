@@ -1,0 +1,81 @@
+// Command nasaicd serves NASAIC co-explorations over HTTP: clients submit
+// jobs, stream per-episode progress as Server-Sent Events, and cancel
+// mid-run. All jobs share one process, and with -sharedmemo one evaluation
+// cache, so repeat explorations warm-start each other.
+//
+// Usage:
+//
+//	nasaicd [-addr :8080] [-max-jobs 2] [-history 64] [-sharedmemo]
+//
+// API:
+//
+//	POST   /v1/jobs             {"workload":"W3","episodes":150,"seed":1}
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        job status + result once finished
+//	GET    /v1/jobs/{id}/events SSE stream of episode events
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /healthz             liveness
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nasaic/internal/jobs"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		maxJobs    = flag.Int("max-jobs", 2, "jobs exploring concurrently; further submissions queue")
+		history    = flag.Int("history", 64, "finished jobs retained for inspection")
+		sharedmemo = flag.Bool("sharedmemo", true, "share the evaluation cache and memos across jobs (results are identical either way)")
+	)
+	flag.Parse()
+
+	m := jobs.NewManager(jobs.Options{
+		MaxConcurrent: *maxJobs,
+		MaxHistory:    *history,
+		ShareMemos:    *sharedmemo,
+	})
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: jobs.NewHandler(m),
+		// Submissions and polls are quick; the SSE stream manages its own
+		// lifetime, so no global write timeout.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("nasaicd listening on %s (max-jobs=%d, sharedmemo=%v)\n", *addr, *maxJobs, *sharedmemo)
+
+	select {
+	case <-ctx.Done():
+		fmt.Println("nasaicd: shutting down")
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, err)
+		m.Close()
+		os.Exit(1)
+	}
+
+	// Stop accepting connections, then cancel the running jobs; SSE streams
+	// end with their jobs' terminal events.
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	m.Close()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -3,7 +3,10 @@
 // Multiple Tasks" (Yang et al., DAC 2020, arXiv:2002.04116).
 //
 // The root package only anchors the module and the benchmark harness in
-// bench_test.go; the implementation lives under internal/ (see DESIGN.md for
-// the system inventory) and the runnable entry points under cmd/ and
-// examples/.
+// bench_test.go. The public, context-first library API lives in pkg/nasaic
+// (Run with functional options, streaming per-episode events, prompt
+// cancellation); the engine lives under internal/ (see DESIGN.md for the
+// system inventory); the runnable entry points are cmd/nasaic, cmd/compare
+// and cmd/dse (CLIs over the public API), cmd/nasaicd (the HTTP job
+// service), and examples/.
 package nasaic

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -25,7 +26,7 @@ func main() {
 	fmt.Println("Single vs homogeneous vs heterogeneous accelerators on W3")
 	fmt.Println("(CIFAR-10 x2, specs <4e5 cycles, 1e9 nJ, 4e9 um2>)")
 	fmt.Println()
-	rows, stats, err := experiments.Table2(b)
+	rows, stats, err := experiments.Table2(context.Background(), b)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

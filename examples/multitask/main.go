@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 
@@ -33,7 +34,7 @@ func main() {
 	// The successive flow: accuracy-only NAS, then brute-force hardware
 	// search for the chosen networks.
 	fmt.Println("1) successive NAS -> ASIC (the paper's strawman):")
-	nas, err := search.NASToASIC(w, cfg, 150, 300)
+	nas, err := search.NASToASIC(context.Background(), w, cfg, 150, 300)
 	if err != nil {
 		panic(err)
 	}

@@ -1,99 +1,76 @@
-// Quickstart: evaluate one (neural architecture, accelerator design) pair
-// end to end — the core operation inside NASAIC's evaluator.
-//
-// It builds the paper's best-reported CIFAR-10 ResNet-9, pairs it with a
-// two-sub-accelerator heterogeneous design, and reports per-layer mapping,
-// the scheduled latency/energy/area, and the predicted accuracy.
+// Quickstart: run a NASAIC co-exploration through the public pkg/nasaic
+// API — submit a small deterministic search, stream per-episode progress,
+// and inspect the best (architectures, accelerator) pair it found.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"time"
 
-	"nasaic/internal/accel"
-	"nasaic/internal/core"
-	"nasaic/internal/dataflow"
-	"nasaic/internal/dnn"
-	"nasaic/internal/export"
-	"nasaic/internal/predictor"
-	"nasaic/internal/workload"
+	"nasaic/pkg/nasaic"
 )
 
 func main() {
-	// 1. A network from the paper's search space: Table II's NAS optimum
-	//    <32, 128, 2, 256, 2, 256, 2>.
-	net, err := dnn.BuildResNet(dnn.ResNetConfig{
-		Name: "resnet9-cifar10", InputX: 32, InputY: 32, InputC: 3, Classes: 10,
-		FN0: 32,
-		Blocks: []dnn.ResBlock{
-			{FN: 128, SK: 2}, {FN: 256, SK: 2}, {FN: 256, SK: 2},
-		},
-	})
-	if err != nil {
-		panic(err)
-	}
-	fmt.Print(net)
-	fmt.Printf("predicted CIFAR-10 accuracy: %s\n\n",
-		export.Pct(predictor.Accuracy(predictor.CIFAR10, net)))
+	// A deadline bounds the whole exploration; cancellation is prompt and
+	// goroutine-leak-free, and a cancelled run still returns the partial
+	// result accumulated so far.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
 
-	// 2. A heterogeneous accelerator: an NVDLA-style and a Shidiannao-style
-	//    sub-accelerator sharing the 4096-PE / 64 GB/s budget (§III-➋).
-	design := accel.NewDesign(
-		accel.SubAccel{DF: dataflow.NVDLA, PEs: 2112, BW: 48},
-		accel.SubAccel{DF: dataflow.Shidiannao, PEs: 1984, BW: 16},
+	fmt.Println("available workloads:")
+	for _, w := range nasaic.Workloads() {
+		fmt.Printf("  %-3s specs %s  tasks %v\n", w.Name, w.Specs, w.Tasks)
+	}
+
+	// Stream progress: one event per episode with the reward and the
+	// best-so-far solution.
+	onEvent := func(e nasaic.Event) {
+		if e.Episode%10 != 0 {
+			return
+		}
+		best := "none yet"
+		if e.Best != nil {
+			best = fmt.Sprintf("%.4f weighted accuracy", e.Best.WeightedAccuracy)
+		}
+		fmt.Printf("episode %3d  reward %+.3f  best so far: %s\n", e.Episode, e.Reward, best)
+	}
+
+	fmt.Println("\nexploring W3 (CIFAR-10 x2) ...")
+	res, err := nasaic.Run(ctx,
+		nasaic.WithWorkload("W3"),
+		nasaic.WithEpisodes(60), // quick demo; the paper uses 500
+		nasaic.WithSeed(1),      // runs are deterministic per seed
+		nasaic.WithEventHandler(onEvent),
 	)
-	if err := design.Validate(accel.DefaultLimits()); err != nil {
-		panic(err)
-	}
-	fmt.Printf("accelerator: %s\n\n", design)
-
-	// 3. Per-layer costs on each sub-accelerator (the HAP cost table).
-	cost := core.DefaultConfig().Cost
-	fmt.Println("per-layer cost table (cycles / nJ):")
-	header := []string{"layer", design.Subs[0].String(), design.Subs[1].String()}
-	var rows [][]string
-	for _, l := range net.ComputeLayers() {
-		row := []string{l.Name}
-		for _, s := range design.Subs {
-			lc := cost.LayerCost(l, s.DF, s.PEs, s.BW)
-			row = append(row, fmt.Sprintf("%s / %s", export.Sci(float64(lc.Cycles)), export.Sci(lc.EnergyNJ)))
-		}
-		rows = append(rows, row)
-	}
-	export.Table(os.Stdout, header, rows)
-
-	// 4. Where does the energy go? Per-level breakdown of the heaviest layer
-	//    on each sub-accelerator.
-	heaviest := net.ComputeLayers()[0]
-	for _, l := range net.ComputeLayers() {
-		if l.MACs() > heaviest.MACs() {
-			heaviest = l
-		}
-	}
-	fmt.Printf("\nenergy breakdown of %s (nJ):\n", heaviest.Name)
-	bh := []string{"sub-accelerator", "MAC", "RF", "NoC", "GB", "DRAM", "total"}
-	var brows [][]string
-	for _, s := range design.Subs {
-		bd := cost.EnergyBreakdown(heaviest, s.DF, s.PEs, s.BW)
-		brows = append(brows, []string{
-			s.String(),
-			export.Sci(bd.MACNJ), export.Sci(bd.RFNJ), export.Sci(bd.NoCNJ),
-			export.Sci(bd.GBNJ), export.Sci(bd.DRAMNJ), export.Sci(bd.Total()),
-		})
-	}
-	export.Table(os.Stdout, bh, brows)
-
-	// 5. Full evaluation against W3's specs via the mapper/scheduler.
-	w := workload.W3()
-	e, err := core.NewEvaluator(w, core.DefaultConfig())
 	if err != nil {
-		panic(err)
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	m := e.HWEval([]*dnn.Network{net, net}, design)
-	fmt.Printf("\nscheduled on the accelerator (both W3 task instances):\n")
-	fmt.Printf("  latency %s cycles, energy %s nJ, area %s um2\n",
-		export.Sci(float64(m.Latency)), export.Sci(m.EnergyNJ), export.Sci(m.AreaUM2))
-	fmt.Printf("  specs %s -> %s (penalty %.3f)\n", w.Specs, export.Mark(m.Feasible), e.Penalty(m))
+	if res.Best == nil {
+		fmt.Println("no feasible solution found — try more episodes")
+		return
+	}
+
+	best := res.Best
+	fmt.Printf("\nbest solution (episode %d):\n", best.Episode)
+	fmt.Printf("  accelerator %s\n", best.Design)
+	for _, task := range best.Tasks {
+		fmt.Printf("  %-14s %s = %.2f%%  arch %s\n",
+			task.Dataset, task.Metric, 100*task.Accuracy, task.Architecture)
+	}
+	fmt.Printf("  latency %d cycles, energy %.3g nJ, area %.3g um2 (specs %s)\n",
+		best.LatencyCycles, best.EnergyNJ, best.AreaUM2, res.Specs)
+	fmt.Printf("  %d feasible solutions explored, %d episodes pruned, %.1f%% hw-eval cache hits\n",
+		len(res.Explored), res.Stats.PrunedEpisodes, res.Stats.HWCacheHitPct())
+
+	// The HAP schedule behind the best solution, as a Gantt chart.
+	fmt.Println("\nlayer-to-sub-accelerator schedule:")
+	if err := res.RenderSchedule(os.Stdout, 88); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }

@@ -9,6 +9,7 @@ import (
 	"runtime"
 
 	"nasaic/internal/accel"
+	"nasaic/internal/evalcache"
 	"nasaic/internal/maestro"
 )
 
@@ -89,6 +90,23 @@ type Config struct {
 	// use one memo across the runs of one table so later searches start
 	// warm; nil keeps the seed behavior of one private memo per evaluator.
 	AccMemo *AccuracyMemo
+	// SharedHWCache, when non-nil, replaces the evaluator's private
+	// hardware-evaluation cache with a caller-owned one, so several
+	// explorers (e.g. the concurrent jobs of one nasaicd process) reuse each
+	// other's mapping-and-scheduling results. The cached evaluation is a
+	// pure function of its inputs, so sharing is bit-identical; it overrides
+	// HWCache/HWCacheCapacity/HWCacheShards.
+	SharedHWCache *evalcache.Cache[HWMetrics]
+	// SolverMoveScanMin, SolverExhaustSplitMin and SolverMaxWorkers expose
+	// internal/sched's parallel-scan thresholds (minimum candidate moves per
+	// heuristic refinement round, minimum enumeration size per exhaustive
+	// solve, and the per-solve worker-pool bound) instead of the package's
+	// single-core-tuned constants. 0 selects the sched defaults; results are
+	// bit-identical for any setting (the parallel scans reduce in a
+	// deterministic order) — only wall clock changes.
+	SolverMoveScanMin     int
+	SolverExhaustSplitMin int
+	SolverMaxWorkers      int
 	// BatchedController routes each episode's φ hardware-only rollouts and
 	// their policy-gradient accumulation through the controller's lockstep
 	// SampleBatch/AccumulateBatch fast path (matrix-matrix nn kernels).

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"nasaic/internal/evalcache"
+	"nasaic/internal/workload"
+)
+
+func newSharedCacheForTest() *evalcache.Cache[HWMetrics] {
+	return evalcache.New[HWMetrics](evalcache.Options{})
+}
+
+func ctxTestConfig(episodes int) Config {
+	cfg := DefaultConfig()
+	cfg.Episodes = episodes
+	cfg.Workers = 4
+	return cfg
+}
+
+// waitGoroutines polls until the goroutine count drops back to within slack
+// of base (worker goroutines park asynchronously after wg.Wait returns).
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d running, started with %d", n, base)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRunContextPreCancelled: an already-cancelled context returns
+// immediately with the context error, an empty partial result, and no
+// goroutines left behind.
+func TestRunContextPreCancelled(t *testing.T) {
+	base := runtime.NumGoroutine()
+	x, err := New(workload.W3(), ctxTestConfig(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	res, err := x.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("pre-cancelled RunContext took %v", el)
+	}
+	if res == nil {
+		t.Fatal("RunContext returned nil partial result")
+	}
+	if len(res.History) != 0 {
+		t.Fatalf("pre-cancelled run completed %d episodes, want 0", len(res.History))
+	}
+	waitGoroutines(t, base)
+}
+
+// TestRunContextCancelMidRun cancels from an episode callback and expects a
+// prompt partial return with the completed episode prefix intact and no
+// goroutine leaks.
+func TestRunContextCancelMidRun(t *testing.T) {
+	base := runtime.NumGoroutine()
+	x, err := New(workload.W3(), ctxTestConfig(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const stopAfter = 5
+	x.OnEpisode = func(ev EpisodeEvent) {
+		if ev.Stats.Episode == stopAfter {
+			cancel()
+		}
+	}
+	start := time.Now()
+	res, err := x.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if el := time.Since(start); el > 30*time.Second {
+		t.Fatalf("cancelled RunContext took %v", el)
+	}
+	if got := len(res.History); got != stopAfter+1 {
+		t.Fatalf("completed %d episodes, want %d", got, stopAfter+1)
+	}
+	waitGoroutines(t, base)
+}
+
+// TestRunContextDeadline: an expired deadline surfaces as DeadlineExceeded.
+func TestRunContextDeadline(t *testing.T) {
+	x, err := New(workload.W3(), ctxTestConfig(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	<-ctx.Done()
+	_, err = x.RunContext(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestRunContextMatchesRun: an uncancelled RunContext is bit-identical to
+// Run for the same seed.
+func TestRunContextMatchesRun(t *testing.T) {
+	cfg := ctxTestConfig(30)
+	runA := func() *Result {
+		x, err := New(workload.W3(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := x.RunContext(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	runB := func() *Result {
+		x, err := New(workload.W3(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return x.Run()
+	}
+	a, b := runA(), runB()
+	if fa, fb := outcomeFingerprint(a), outcomeFingerprint(b); fa != fb {
+		t.Fatalf("RunContext diverged from Run:\n%s\nvs\n%s", fa, fb)
+	}
+}
+
+// TestRunEvolutionContextCancelled covers the EA path's cancellation.
+func TestRunEvolutionContextCancelled(t *testing.T) {
+	base := runtime.NumGoroutine()
+	x, err := New(workload.W3(), ctxTestConfig(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec := DefaultEvolutionConfig()
+	ec.Generations = 500
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	gen := 0
+	x.OnEpisode = func(EpisodeEvent) {
+		gen++
+		if gen == 2 {
+			cancel()
+		}
+	}
+	_, err = x.RunEvolutionContext(ctx, ec)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	waitGoroutines(t, base)
+
+	// A pre-cancelled context must abort during the initial population, not
+	// after evaluating all of it.
+	x2, err := New(workload.W3(), ctxTestConfig(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	start := time.Now()
+	res, err := x2.RunEvolutionContext(ctx2, ec)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled EA: err = %v, want context.Canceled", err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("pre-cancelled EA took %v", el)
+	}
+	if res == nil || len(res.History) != 0 {
+		t.Fatalf("pre-cancelled EA completed generations: %+v", res)
+	}
+}
+
+// TestOnEpisodeEvents verifies the streaming hook: one event per episode, in
+// order, with the best-so-far solution monotonically improving.
+func TestOnEpisodeEvents(t *testing.T) {
+	x, err := New(workload.W3(), ctxTestConfig(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []EpisodeEvent
+	x.OnEpisode = func(ev EpisodeEvent) { events = append(events, ev) }
+	res, err := x.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 25 {
+		t.Fatalf("got %d events, want 25", len(events))
+	}
+	lastBest := 0.0
+	for i, ev := range events {
+		if ev.Stats.Episode != i {
+			t.Fatalf("event %d has episode %d", i, ev.Stats.Episode)
+		}
+		if ev.Best != nil {
+			if ev.Best.Weighted < lastBest {
+				t.Fatalf("best-so-far regressed at episode %d: %v < %v", i, ev.Best.Weighted, lastBest)
+			}
+			lastBest = ev.Best.Weighted
+		}
+	}
+	if res.Best != nil && len(events) > 0 {
+		last := events[len(events)-1]
+		if last.Best == nil {
+			t.Fatal("final event missing best-so-far despite feasible result")
+		}
+	}
+}
+
+// TestSharedHWCacheAcrossExplorers: two explorers sharing one cache must
+// produce bit-identical results to private caches, with the second run
+// served largely from the first run's entries.
+func TestSharedHWCacheAcrossExplorers(t *testing.T) {
+	cfg := ctxTestConfig(15)
+	run := func(cfg Config) *Result {
+		x, err := New(workload.W3(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return x.Run()
+	}
+	private := run(cfg)
+
+	shared := cfg
+	shared.SharedHWCache = newSharedCacheForTest()
+	first := run(shared)
+	second := run(shared)
+	if fa, fb := outcomeFingerprint(private), outcomeFingerprint(first); fa != fb {
+		t.Fatalf("shared-cache first run diverged from private-cache run")
+	}
+	if fa, fb := outcomeFingerprint(first), outcomeFingerprint(second); fa != fb {
+		t.Fatalf("second shared-cache run diverged")
+	}
+	if second.HWCacheHits <= first.HWCacheHits {
+		t.Fatalf("second run not warm-started: hits %d vs %d", second.HWCacheHits, first.HWCacheHits)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -165,7 +166,10 @@ func NewEvaluator(w workload.Workload, cfg Config) (*Evaluator, error) {
 	case cfg.LayerCostMemo:
 		e.layerMemo = maestro.NewCostMemo(cfg.Cost)
 	}
-	if cfg.HWCache {
+	switch {
+	case cfg.SharedHWCache != nil:
+		e.hwCache = cfg.SharedHWCache
+	case cfg.HWCache:
 		e.hwCache = evalcache.New[HWMetrics](evalcache.Options{
 			Capacity: cfg.HWCacheCapacity,
 			Shards:   cfg.HWCacheShards,
@@ -206,7 +210,7 @@ func (e *Evaluator) computeBounds() Bounds {
 	const samples = 60
 	for s := 0; s < samples; s++ {
 		d := e.randomDesign(rng)
-		m := e.hwEval(nets, d, false)
+		m, _ := e.hwEval(context.Background(), nets, d, false)
 		if !m.ResourceOK {
 			continue
 		}
@@ -260,10 +264,23 @@ func (e *Evaluator) randomDesign(rng *stats.RNG) accel.Design {
 // HWEval evaluates the hardware metrics of running the given networks on
 // design d (mapping and scheduling via HAP under the latency spec).
 func (e *Evaluator) HWEval(nets []*dnn.Network, d accel.Design) HWMetrics {
-	return e.hwEval(nets, d, true)
+	m, _ := e.hwEval(context.Background(), nets, d, true)
+	return m
 }
 
-func (e *Evaluator) hwEval(nets []*dnn.Network, d accel.Design, count bool) HWMetrics {
+// HWEvalCtx is HWEval with cooperative cancellation: the context is checked
+// on entry and threaded into the HAP solver's worker pools, so a cancelled or
+// expired context aborts the evaluation promptly with ctx's error. Aborted
+// computations are never cached; uncancelled evaluations are bit-identical to
+// HWEval.
+func (e *Evaluator) HWEvalCtx(ctx context.Context, nets []*dnn.Network, d accel.Design) (HWMetrics, error) {
+	return e.hwEval(ctx, nets, d, true)
+}
+
+func (e *Evaluator) hwEval(ctx context.Context, nets []*dnn.Network, d accel.Design, count bool) (HWMetrics, error) {
+	if err := ctx.Err(); err != nil {
+		return HWMetrics{}, err
+	}
 	if count {
 		e.hwRequests.Inc()
 	}
@@ -276,37 +293,44 @@ func (e *Evaluator) hwEval(nets []*dnn.Network, d accel.Design, count bool) HWMe
 			Latency:  maxI64(e.Bounds.Latency, 2*e.W.Specs.LatencyCycles),
 			EnergyNJ: maxF(e.Bounds.EnergyNJ, 2*e.W.Specs.EnergyNJ),
 			AreaUM2:  maxF(e.Bounds.AreaUM2, 2*e.W.Specs.AreaUM2),
-		}
+		}, nil
 	}
 	if e.hwCache == nil {
 		if count {
 			e.hwComputes.Inc()
 		}
-		return e.hwCompute(nets, d)
+		return e.hwCompute(ctx, nets, d)
 	}
-	m, avoided := e.hwCache.GetOrCompute(hwKey(nets, d), func() HWMetrics {
+	m, avoided, err := e.hwCache.GetOrComputeErr(hwKey(nets, d), func() (HWMetrics, error) {
 		if count {
 			e.hwComputes.Inc()
 		}
-		return e.hwCompute(nets, d)
+		return e.hwCompute(ctx, nets, d)
 	})
+	if err != nil {
+		return HWMetrics{}, err
+	}
 	if avoided && count {
 		e.hwHits.Inc()
 	}
-	return m
+	return m, nil
 }
 
 // hwCompute runs the uncached mapping-and-scheduling path: build the HAP
 // cost table, solve the assignment, and size buffers and area. It is a pure
 // function of (nets, d) given the evaluator's fixed workload and config,
 // which is what makes the result cacheable and the search bit-deterministic
-// across cache modes and worker counts.
-func (e *Evaluator) hwCompute(nets []*dnn.Network, d accel.Design) HWMetrics {
+// across cache modes and worker counts. A done context aborts the solve and
+// returns ctx's error; nothing partial escapes.
+func (e *Evaluator) hwCompute(ctx context.Context, nets []*dnn.Network, d accel.Design) (HWMetrics, error) {
 	active := d.Active()
 	problem := e.buildProblem(nets, d, active)
 
-	_, res, err := sched.HAP(problem)
+	_, res, err := sched.HAPCtx(ctx, problem)
 	if err != nil {
+		if ctx.Err() != nil {
+			return HWMetrics{}, ctx.Err()
+		}
 		panic(fmt.Sprintf("core: HAP failed: %v", err))
 	}
 
@@ -326,7 +350,7 @@ func (e *Evaluator) hwCompute(nets []*dnn.Network, d accel.Design) HWMetrics {
 		Feasible:   res.Makespan <= sp.LatencyCycles && res.EnergyNJ <= sp.EnergyNJ && area <= sp.AreaUM2,
 		BufDemand:  buf,
 		Assign:     res.Assign,
-	}
+	}, nil
 }
 
 // layerCost evaluates the cost model for one (layer, sub-accelerator) pair
@@ -361,6 +385,11 @@ func (e *Evaluator) buildProblem(nets []*dnn.Network, d accel.Design, active []i
 	problem := sched.Problem{
 		NumAccels: len(active),
 		Deadline:  e.W.Specs.LatencyCycles,
+		Tuning: sched.Tuning{
+			ParallelMoveMin:    e.Cfg.SolverMoveScanMin,
+			ParallelExhaustMin: e.Cfg.SolverExhaustSplitMin,
+			MaxWorkers:         e.Cfg.SolverMaxWorkers,
+		},
 	}
 	for ni, n := range nets {
 		ch := sched.Chain{Name: fmt.Sprintf("net%d", ni)}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -77,9 +78,20 @@ type individual struct {
 // evolutionary algorithm instead of the RNN controller. It is deterministic
 // in Config.Seed and honours Config.Refine for the final exploit phase.
 func (x *Explorer) RunEvolution(ec EvolutionConfig) *Result {
+	res, _ := x.RunEvolutionContext(context.Background(), ec)
+	return res
+}
+
+// RunEvolutionContext is RunEvolution with cooperative cancellation: the
+// context is checked per individual evaluation, so cancellation or a deadline
+// aborts the search promptly. On cancellation it returns the partial result
+// (completed generations) together with ctx's error; the refinement phase is
+// skipped. Uncancelled runs are bit-identical to RunEvolution.
+func (x *Explorer) RunEvolutionContext(ctx context.Context, ec EvolutionConfig) (*Result, error) {
 	if err := ec.Validate(); err != nil {
 		panic(err)
 	}
+	var runErr error
 	rng := stats.NewRNG(x.Cfg.Seed ^ 0xea)
 	specs := x.ctrl.Specs()
 	res := &Result{Workload: x.W}
@@ -92,22 +104,27 @@ func (x *Explorer) RunEvolution(ec EvolutionConfig) *Result {
 		return g
 	}
 
-	evaluate := func(g []int) individual {
+	// evaluate scores one genome; a done context aborts the underlying HAP
+	// solve promptly and returns ctx's error (the individual is discarded).
+	evaluate := func(g []int) (individual, error) {
 		ind := individual{genome: append([]int(nil), g...)}
 		choices, nets, err := x.decodeArch(g[:x.archLen])
 		if err != nil {
 			ind.reward = -1e9
-			return ind
+			return ind, nil
 		}
 		d := x.decodeDesign(g)
-		m := x.eval.HWEval(nets, d)
+		m, err := x.eval.HWEvalCtx(ctx, nets, d)
+		if err != nil {
+			return individual{}, err
+		}
 		pen := x.eval.Penalty(m)
 		ind.penalty = pen
 		if pen > 0 {
 			// Early pruning, EA flavor: infeasible individuals are ranked by
 			// penalty alone and never trained.
 			ind.reward = x.eval.Reward(0, pen)
-			return ind
+			return ind, nil
 		}
 		accs := x.eval.Accuracies(nets)
 		weighted := x.W.Weighted(accs)
@@ -125,12 +142,17 @@ func (x *Explorer) RunEvolution(ec EvolutionConfig) *Result {
 			Feasible:    true,
 			actions:     append([]int(nil), g...),
 		}
-		return ind
+		return ind, nil
 	}
 
-	pop := make([]individual, ec.Population)
-	for i := range pop {
-		pop[i] = evaluate(randGenome())
+	pop := make([]individual, 0, ec.Population)
+	for i := 0; i < ec.Population; i++ {
+		ind, err := evaluate(randGenome())
+		if err != nil {
+			x.fillEvalStats(res)
+			return res, err
+		}
+		pop = append(pop, ind)
 	}
 
 	record := func(gen int, ind individual) {
@@ -159,6 +181,7 @@ func (x *Explorer) RunEvolution(ec EvolutionConfig) *Result {
 		return best
 	}
 
+genLoop:
 	for gen := 1; gen <= ec.Generations; gen++ {
 		sort.Slice(pop, func(i, j int) bool { return pop[i].reward > pop[j].reward })
 		next := make([]individual, 0, ec.Population)
@@ -166,6 +189,10 @@ func (x *Explorer) RunEvolution(ec EvolutionConfig) *Result {
 			next = append(next, pop[i])
 		}
 		for len(next) < ec.Population {
+			if err := ctx.Err(); err != nil {
+				runErr = err
+				break genLoop
+			}
 			a := tournament()
 			child := append([]int(nil), a.genome...)
 			if rng.Float64() < ec.CrossoverRate {
@@ -181,7 +208,11 @@ func (x *Explorer) RunEvolution(ec EvolutionConfig) *Result {
 					child[i] = rng.Intn(s.NumOptions)
 				}
 			}
-			ind := evaluate(child)
+			ind, err := evaluate(child)
+			if err != nil {
+				runErr = err
+				break genLoop
+			}
 			record(gen, ind)
 			next = append(next, ind)
 		}
@@ -201,16 +232,20 @@ func (x *Explorer) RunEvolution(ec EvolutionConfig) *Result {
 				feasible = true
 			}
 		}
-		res.History = append(res.History, EpisodeStats{
+		st := EpisodeStats{
 			Episode:     gen,
 			Reward:      bestReward,
 			BestPenalty: bestPen,
 			Feasible:    feasible,
 			Pruned:      !feasible,
-		})
+		}
+		res.History = append(res.History, st)
+		if x.OnEpisode != nil {
+			x.OnEpisode(EpisodeEvent{Stats: st, Best: res.Best, Explored: len(res.Explored)})
+		}
 	}
 
-	if x.Cfg.Refine && res.Best != nil {
+	if runErr == nil && x.Cfg.Refine && res.Best != nil {
 		sort.Slice(res.Explored, func(i, j int) bool {
 			return res.Explored[i].Weighted > res.Explored[j].Weighted
 		})
@@ -229,5 +264,5 @@ func (x *Explorer) RunEvolution(ec EvolutionConfig) *Result {
 	sort.Slice(res.Explored, func(i, j int) bool {
 		return res.Explored[i].Weighted > res.Explored[j].Weighted
 	})
-	return res
+	return res, runErr
 }

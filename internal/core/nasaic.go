@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -103,10 +104,28 @@ func (r *Result) LayerCostHitPct() float64 {
 	return stats.Pct(int64(r.LayerCostHits), int64(r.LayerCostRequests))
 }
 
+// EpisodeEvent is the streaming progress notification delivered to
+// Explorer.OnEpisode after every episode (RL mode) or generation (EA mode).
+type EpisodeEvent struct {
+	// Stats is the finished episode's telemetry.
+	Stats EpisodeStats
+	// Best is the best-so-far solution (nil before the first feasible one).
+	// It is shared with the eventual Result and must not be mutated.
+	Best *Solution
+	// Explored is the running count of feasible solutions found.
+	Explored int
+}
+
 // Explorer runs the NASAIC search for one workload.
 type Explorer struct {
 	W   workload.Workload
 	Cfg Config
+
+	// OnEpisode, when non-nil, is invoked synchronously on the exploration
+	// goroutine after every episode. It must not call back into the
+	// explorer; a slow handler slows the search down but never changes its
+	// results.
+	OnEpisode func(EpisodeEvent)
 
 	eval       *Evaluator
 	ctrl       *rl.Controller
@@ -202,7 +221,20 @@ func (x *Explorer) hwMask() []bool {
 // Run executes the full co-exploration and returns the result. It is
 // deterministic in Config.Seed.
 func (x *Explorer) Run() *Result {
+	res, _ := x.RunContext(context.Background())
+	return res
+}
+
+// RunContext is Run with cooperative cancellation: the context is checked
+// every episode and threaded through the hardware-evaluation worker pool into
+// the HAP solver, so cancellation or a deadline aborts the search promptly
+// and leaves no goroutines behind. On cancellation it returns the partial
+// result accumulated so far (completed episodes, best-so-far solution,
+// evaluator counters) together with ctx's error; the refinement phase is
+// skipped. Uncancelled runs are bit-identical to Run for the same seed.
+func (x *Explorer) RunContext(ctx context.Context) (*Result, error) {
 	res := &Result{Workload: x.W}
+	var runErr error
 	trMain := rl.NewTrainer()
 	trHW := rl.NewTrainer()
 	newOpt := func() *nn.RMSProp {
@@ -220,6 +252,10 @@ func (x *Explorer) Run() *Result {
 	var bestReward float64
 
 	for ep := 0; ep < x.Cfg.Episodes; ep++ {
+		if err := ctx.Err(); err != nil {
+			runErr = err
+			break
+		}
 		// ① SA=SH=1: one combined architecture+hardware step.
 		combined := x.ctrl.Sample()
 		archActs := combined.Actions[:x.archLen]
@@ -247,7 +283,11 @@ func (x *Explorer) Run() *Result {
 		}
 		preEval := x.eval.EvalStats()
 		preDedup := x.hwDeduped
-		metrics := x.parallelHWEval(nets, hwEps)
+		metrics, err := x.parallelHWEval(ctx, nets, hwEps)
+		if err != nil {
+			runErr = err
+			break
+		}
 		postEval := x.eval.EvalStats()
 
 		// Pick the best hardware among the explored candidates: feasible
@@ -353,11 +393,16 @@ func (x *Explorer) Run() *Result {
 				res.Best = sol
 			}
 		}
+
+		if x.OnEpisode != nil {
+			x.OnEpisode(EpisodeEvent{Stats: st, Best: res.Best, Explored: len(res.Explored)})
+		}
 	}
 
 	// Exploit phase: multi-start coordinate-descent refinement of the top
-	// explored solutions.
-	if x.Cfg.Refine && res.Best != nil {
+	// explored solutions. Skipped on cancellation — the partial result keeps
+	// the raw exploration outcome.
+	if runErr == nil && x.Cfg.Refine && res.Best != nil {
 		sort.Slice(res.Explored, func(i, j int) bool {
 			return res.Explored[i].Weighted > res.Explored[j].Weighted
 		})
@@ -366,6 +411,10 @@ func (x *Explorer) Run() *Result {
 		hopRNG := stats.NewRNG(x.Cfg.Seed ^ 0x40b)
 		top := len(res.Explored)
 		for i := 0; i < starts && i < top; i++ {
+			if err := ctx.Err(); err != nil {
+				runErr = err
+				break
+			}
 			refined := x.refineFrom(res.Explored[i], specs, hopRNG)
 			if refined.Weighted > res.Best.Weighted {
 				res.Best = refined
@@ -378,7 +427,7 @@ func (x *Explorer) Run() *Result {
 	sort.Slice(res.Explored, func(i, j int) bool {
 		return res.Explored[i].Weighted > res.Explored[j].Weighted
 	})
-	return res
+	return res, runErr
 }
 
 // fillEvalStats copies the evaluator's work counters into the result.
@@ -398,8 +447,10 @@ func (x *Explorer) fillEvalStats(res *Result) {
 // controller's hardware policy starts converging — are collapsed to a single
 // evaluation before fan-out, so a batch of N duplicates costs one HAP solve
 // even with the evaluation cache disabled. The networks are fixed across the
-// batch, so the design fingerprint alone identifies duplicates.
-func (x *Explorer) parallelHWEval(nets []*dnn.Network, eps []*rl.Episode) []HWMetrics {
+// batch, so the design fingerprint alone identifies duplicates. A done
+// context stops the fan-out, lets every worker drain and exit, and returns
+// ctx's error; the partially filled metrics are discarded.
+func (x *Explorer) parallelHWEval(ctx context.Context, nets []*dnn.Network, eps []*rl.Episode) ([]HWMetrics, error) {
 	out := make([]HWMetrics, len(eps))
 	designs := make([]accel.Design, len(eps))
 	rep := make([]int, len(eps)) // index of each candidate's representative
@@ -429,17 +480,33 @@ func (x *Explorer) parallelHWEval(nets []*dnn.Network, eps []*rl.Episode) []HWMe
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				out[i] = x.eval.HWEval(nets, designs[i])
+				// A cancelled context makes HWEvalCtx return immediately,
+				// so the drain after the send loop breaks is prompt. The
+				// zero metrics left behind never escape: the caller
+				// discards the batch on error.
+				m, err := x.eval.HWEvalCtx(ctx, nets, designs[i])
+				if err != nil {
+					continue
+				}
+				out[i] = m
 			}
 		}()
 	}
+send:
 	for _, i := range uniqIdx {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break send
+		}
 	}
 	close(jobs)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for i := range eps {
 		out[i] = out[rep[i]]
 	}
-	return out
+	return out, nil
 }

@@ -213,6 +213,57 @@ func (c *Cache[V]) GetOrCompute(key string, compute func() V) (V, bool) {
 	}
 }
 
+// GetOrComputeErr is GetOrCompute for fallible computations (typically ones
+// that honour a context): when compute returns an error, nothing is cached,
+// the error is returned to the computing caller, and waiters retry with their
+// own compute function — mirroring the panic semantics of GetOrCompute. The
+// flag reports whether this call avoided running compute itself.
+func (c *Cache[V]) GetOrComputeErr(key string, compute func() (V, error)) (V, bool, error) {
+	s := c.shardFor(key)
+	for {
+		s.mu.Lock()
+		if el, ok := s.items[key]; ok {
+			s.ll.MoveToFront(el)
+			c.hits.Inc()
+			v := el.Value.(*entry[V]).val
+			s.mu.Unlock()
+			return v, true, nil
+		}
+		if cl, ok := s.inflight[key]; ok {
+			c.dedups.Inc()
+			s.mu.Unlock()
+			cl.wg.Wait()
+			if cl.ok {
+				return cl.val, true, nil
+			}
+			// The computing caller failed or panicked; race to recompute
+			// (a caller whose own context is done fails fast in compute).
+			continue
+		}
+		cl := &call[V]{}
+		cl.wg.Add(1)
+		s.inflight[key] = cl
+		c.misses.Inc()
+		s.mu.Unlock()
+
+		var err error
+		func() {
+			defer func() {
+				s.mu.Lock()
+				if cl.ok {
+					c.putLocked(s, key, cl.val)
+				}
+				delete(s.inflight, key)
+				s.mu.Unlock()
+				cl.wg.Done()
+			}()
+			cl.val, err = compute()
+			cl.ok = err == nil
+		}()
+		return cl.val, false, err
+	}
+}
+
 // Len returns the number of resident entries.
 func (c *Cache[V]) Len() int {
 	n := 0

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -16,7 +17,7 @@ func tinyBudget(seed int64) Budget {
 // other two approaches satisfy them; NASAIC's accuracy beats or matches
 // ASIC→HW-NAS on the weighted metric.
 func TestTable1Shape(t *testing.T) {
-	rows, _, err := Table1(tinyBudget(1))
+	rows, _, err := Table1(context.Background(), tinyBudget(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestTable1Shape(t *testing.T) {
 // The Table II shape: NAS violates; the three NASAIC variants satisfy; the
 // heterogeneous design's best network beats the single-accelerator network.
 func TestTable2Shape(t *testing.T) {
-	rows, _, err := Table2(tinyBudget(1))
+	rows, _, err := Table2(context.Background(), tinyBudget(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestTable2Shape(t *testing.T) {
 }
 
 func TestFig1Shape(t *testing.T) {
-	d, err := Fig1(tinyBudget(1))
+	d, err := Fig1(context.Background(), tinyBudget(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestFig1Shape(t *testing.T) {
 
 func TestFig6Shape(t *testing.T) {
 	for _, w := range []workload.Workload{workload.W3(), workload.W1()} {
-		d, err := Fig6(w, tinyBudget(5))
+		d, err := Fig6(context.Background(), w, tinyBudget(5))
 		if err != nil {
 			t.Fatalf("%s: %v", w.Name, err)
 		}
@@ -144,7 +145,7 @@ func TestFig6Shape(t *testing.T) {
 
 func TestRenderers(t *testing.T) {
 	b := tinyBudget(1)
-	rows, _, err := Table1(Budget{Episodes: 40, MCRuns: 120, NASSamples: 40, HWSamples: 50, Seed: 2})
+	rows, _, err := Table1(context.Background(), Budget{Episodes: 40, MCRuns: 120, NASSamples: 40, HWSamples: 50, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestRenderers(t *testing.T) {
 		}
 	}
 
-	d, err := Fig1(b)
+	d, err := Fig1(context.Background(), b)
 	if err != nil {
 		t.Fatal(err)
 	}

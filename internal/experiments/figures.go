@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -53,7 +54,7 @@ func Fig1Workload() workload.Workload {
 }
 
 // Fig1 regenerates the motivating design-space exploration.
-func Fig1(b Budget) (*Fig1Data, error) {
+func Fig1(ctx context.Context, b Budget) (*Fig1Data, error) {
 	w := Fig1Workload()
 	cfg := b.config()
 	// With Budget.SharedMemo, the NAS→ASIC sweep, the HW-NAS baseline and
@@ -76,12 +77,15 @@ func Fig1(b Budget) (*Fig1Data, error) {
 	d.NASAcc = accs[0]
 	for s := 0; s < b.HWSamples; s++ {
 		des := search.RandomDesign(cfg.HW, rng)
-		m := e.HWEval([]*dnn.Network{nasNet}, des)
+		m, err := e.HWEvalCtx(ctx, []*dnn.Network{nasNet}, des)
+		if err != nil {
+			return nil, err
+		}
 		d.NASASIC = append(d.NASASIC, toPoint(m.Latency, m.EnergyNJ, m.AreaUM2, accs[0], m.Feasible))
 	}
 
 	// Triangle: hardware-aware NAS on the closest-to-spec fixed design.
-	hwnas, err := search.ASICToHWNAS(w, cfg, b.MCRuns/2, b.NASSamples*3)
+	hwnas, err := search.ASICToHWNAS(ctx, w, cfg, b.MCRuns/2, b.NASSamples*3)
 	if err != nil {
 		return nil, err
 	}
@@ -89,7 +93,7 @@ func Fig1(b Budget) (*Fig1Data, error) {
 	d.HWNASAcc = hwnas.Weighted
 
 	// Star and square: Monte Carlo co-search.
-	mc, err := search.MonteCarlo(w, cfg, b.MCRuns)
+	mc, err := search.MonteCarlo(ctx, w, cfg, b.MCRuns)
 	if err != nil {
 		return nil, err
 	}
@@ -131,14 +135,17 @@ type Fig6Data struct {
 }
 
 // Fig6 regenerates one panel of Fig. 6 for the given workload.
-func Fig6(w workload.Workload, b Budget) (*Fig6Data, error) {
+func Fig6(ctx context.Context, w workload.Workload, b Budget) (*Fig6Data, error) {
 	cfg := b.config()
 	cfg.AccMemo = b.accMemo()
 	x, err := core.New(w, cfg)
 	if err != nil {
 		return nil, err
 	}
-	res := x.Run()
+	res, err := x.RunContext(ctx)
+	if err != nil {
+		return nil, err
+	}
 	if res.Best == nil {
 		return nil, fmt.Errorf("experiments: fig 6 %s: no feasible solution", w.Name)
 	}
@@ -172,7 +179,10 @@ func Fig6(w workload.Workload, b Budget) (*Fig6Data, error) {
 	}
 	for s := 0; s < n; s++ {
 		des := search.RandomDesign(cfg.HW, rng)
-		m := e.HWEval(nets, des)
+		m, err := e.HWEvalCtx(ctx, nets, des)
+		if err != nil {
+			return nil, err
+		}
 		d.LowerBounds = append(d.LowerBounds,
 			toPoint(m.Latency, m.EnergyNJ, m.AreaUM2, w.Weighted(d.LowerAccs), m.Feasible))
 	}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -50,7 +51,7 @@ func testTableGolden(t *testing.T, name string, render func() ([]byte, error)) {
 
 func TestTable1GoldenQuickBudget(t *testing.T) {
 	testTableGolden(t, "table1_quickbudget.golden", func() ([]byte, error) {
-		rows, _, err := Table1(QuickBudget())
+		rows, _, err := Table1(context.Background(), QuickBudget())
 		if err != nil {
 			return nil, err
 		}
@@ -62,7 +63,7 @@ func TestTable1GoldenQuickBudget(t *testing.T) {
 
 func TestTable2GoldenQuickBudget(t *testing.T) {
 	testTableGolden(t, "table2_quickbudget.golden", func() ([]byte, error) {
-		rows, _, err := Table2(QuickBudget())
+		rows, _, err := Table2(context.Background(), QuickBudget())
 		if err != nil {
 			return nil, err
 		}
@@ -80,7 +81,7 @@ func TestTable2GoldenCacheOff(t *testing.T) {
 	testTableGolden(t, "table2_quickbudget.golden", func() ([]byte, error) {
 		b := QuickBudget()
 		b.DisableHWCache = true
-		rows, _, err := Table2(b)
+		rows, _, err := Table2(context.Background(), b)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -14,7 +15,7 @@ import (
 // ASIC→HW-NAS, and NASAIC under the unified design specs. The returned
 // SearchStats aggregate the NASAIC runs' evaluator work (including
 // hardware-evaluation cache effectiveness) across both workloads.
-func Table1(b Budget) ([]ApproachResult, SearchStats, error) {
+func Table1(ctx context.Context, b Budget) ([]ApproachResult, SearchStats, error) {
 	var out []ApproachResult
 	var stats SearchStats
 	// With Budget.SharedMemo, one accuracy memo spans both workloads and
@@ -23,7 +24,7 @@ func Table1(b Budget) ([]ApproachResult, SearchStats, error) {
 	// evaluator configuration.
 	acc := b.accMemo()
 	for _, w := range []workload.Workload{workload.W1(), workload.W2()} {
-		rows, st, err := table1Workload(w, b, acc)
+		rows, st, err := table1Workload(ctx, w, b, acc)
 		if err != nil {
 			return nil, stats, fmt.Errorf("experiments: table 1 on %s: %w", w.Name, err)
 		}
@@ -33,15 +34,15 @@ func Table1(b Budget) ([]ApproachResult, SearchStats, error) {
 	return out, stats, nil
 }
 
-func table1Workload(w workload.Workload, b Budget, acc *core.AccuracyMemo) ([]ApproachResult, *core.Result, error) {
+func table1Workload(ctx context.Context, w workload.Workload, b Budget, acc *core.AccuracyMemo) ([]ApproachResult, *core.Result, error) {
 	cfg := b.config()
 	cfg.AccMemo = acc
 
-	nas, err := search.NASToASIC(w, cfg, b.NASSamples, b.HWSamples)
+	nas, err := search.NASToASIC(ctx, w, cfg, b.NASSamples, b.HWSamples)
 	if err != nil {
 		return nil, nil, err
 	}
-	hwnas, err := search.ASICToHWNAS(w, cfg, b.MCRuns, b.NASSamples*3)
+	hwnas, err := search.ASICToHWNAS(ctx, w, cfg, b.MCRuns, b.NASSamples*3)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -49,7 +50,10 @@ func table1Workload(w workload.Workload, b Budget, acc *core.AccuracyMemo) ([]Ap
 	if err != nil {
 		return nil, nil, err
 	}
-	res := x.Run()
+	res, err := x.RunContext(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
 	if res.Best == nil {
 		return nil, nil, fmt.Errorf("NASAIC found no feasible solution in %d episodes", cfg.Episodes)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -25,7 +26,7 @@ import (
 //
 // The returned SearchStats aggregate the three NASAIC runs' evaluator work
 // (including hardware-evaluation cache effectiveness).
-func Table2(b Budget) ([]ApproachResult, SearchStats, error) {
+func Table2(ctx context.Context, b Budget) ([]ApproachResult, SearchStats, error) {
 	w3 := workload.W3()
 	sp := w3.Specs
 	cfg := b.config()
@@ -36,7 +37,7 @@ func Table2(b Budget) ([]ApproachResult, SearchStats, error) {
 	var stats SearchStats
 
 	// -- NAS with maximum hardware ------------------------------------------
-	nasRow, err := table2NAS(w3, b, cfg)
+	nasRow, err := table2NAS(ctx, w3, b, cfg)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -50,7 +51,7 @@ func Table2(b Budget) ([]ApproachResult, SearchStats, error) {
 	})
 	singleCfg := cfg
 	singleCfg.HW = singleSubSpace(4096, 64)
-	single, singleRes, err := runRestricted("Single Acc.", singleW, singleCfg, 1)
+	single, singleRes, err := runRestricted(ctx, "Single Acc.", singleW, singleCfg, 1)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -65,7 +66,7 @@ func Table2(b Budget) ([]ApproachResult, SearchStats, error) {
 	})
 	homoCfg := cfg
 	homoCfg.HW = singleSubSpace(2048, 32)
-	homo, homoRes, err := runRestricted("Homo. Acc.", homoW, homoCfg, 2)
+	homo, homoRes, err := runRestricted(ctx, "Homo. Acc.", homoW, homoCfg, 2)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -77,7 +78,10 @@ func Table2(b Budget) ([]ApproachResult, SearchStats, error) {
 	if err != nil {
 		return nil, stats, err
 	}
-	res := x.Run()
+	res, err := x.RunContext(ctx)
+	if err != nil {
+		return nil, stats, err
+	}
 	if res.Best == nil {
 		return nil, stats, fmt.Errorf("experiments: NASAIC found no feasible W3 solution")
 	}
@@ -102,7 +106,7 @@ func Table2(b Budget) ([]ApproachResult, SearchStats, error) {
 
 // table2NAS evaluates the spec-blind NAS row: the best-accuracy architecture
 // on the maximum single accelerator, running both W3 task instances.
-func table2NAS(w3 workload.Workload, b Budget, cfg core.Config) (ApproachResult, error) {
+func table2NAS(ctx context.Context, w3 workload.Workload, b Budget, cfg core.Config) (ApproachResult, error) {
 	e, err := core.NewEvaluator(w3, cfg)
 	if err != nil {
 		return ApproachResult{}, err
@@ -120,7 +124,10 @@ func table2NAS(w3 workload.Workload, b Budget, cfg core.Config) (ApproachResult,
 		}
 	}
 	d := maxSingleDesign()
-	m := e.HWEval([]*dnn.Network{bestNet, bestNet}, d)
+	m, err := e.HWEvalCtx(ctx, []*dnn.Network{bestNet, bestNet}, d)
+	if err != nil {
+		return ApproachResult{}, err
+	}
 	return ApproachResult{
 		Workload: "W3", Approach: "NAS",
 		Hardware: d.Subs[0].String(),
@@ -135,12 +142,15 @@ func table2NAS(w3 workload.Workload, b Budget, cfg core.Config) (ApproachResult,
 // runRestricted runs NASAIC on a single-task workload with a restricted
 // hardware space and reports the result scaled by `copies` accelerator
 // instances (Homo. Acc. duplicates the found design).
-func runRestricted(name string, w workload.Workload, cfg core.Config, copies int) (ApproachResult, *core.Result, error) {
+func runRestricted(ctx context.Context, name string, w workload.Workload, cfg core.Config, copies int) (ApproachResult, *core.Result, error) {
 	x, err := core.New(w, cfg)
 	if err != nil {
 		return ApproachResult{}, nil, err
 	}
-	res := x.Run()
+	res, err := x.RunContext(ctx)
+	if err != nil {
+		return ApproachResult{}, nil, err
+	}
 	if res.Best == nil {
 		return ApproachResult{}, nil, fmt.Errorf("experiments: %s search found no feasible solution", name)
 	}

@@ -1,0 +1,189 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"nasaic/pkg/nasaic"
+)
+
+// NewHandler exposes the manager as cmd/nasaicd's HTTP/JSON API:
+//
+//	POST   /v1/jobs            submit a Spec, returns 202 + the job snapshot
+//	GET    /v1/jobs            list retained jobs
+//	GET    /v1/jobs/{id}       one job's snapshot (result once terminal)
+//	GET    /v1/jobs/{id}/events  SSE stream of per-episode events
+//	DELETE /v1/jobs/{id}       cancel, returns the snapshot at call time
+//	GET    /healthz            liveness probe
+//
+// The events stream replays the job's buffered events (from Last-Event-ID,
+// when the client reconnects) and then follows live ones; it ends with a
+// terminal `done` event carrying the final snapshot.
+func NewHandler(m *Manager) http.Handler {
+	s := &server{m: m}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.submit)
+	mux.HandleFunc("GET /v1/jobs", s.list)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.get)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+type server struct {
+	m *Manager
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+func (s *server) submit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid job spec: %w", err))
+		return
+	}
+	j, err := s.m.Submit(spec)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrClosed) {
+			code = http.StatusServiceUnavailable
+		}
+		writeErr(w, code, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.ID)
+	writeJSON(w, http.StatusAccepted, j.Snapshot())
+}
+
+func (s *server) list(w http.ResponseWriter, r *http.Request) {
+	jobs := s.m.List()
+	out := make([]Snapshot, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Snapshot())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	j, err := s.m.Get(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *server) get(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Snapshot())
+	}
+}
+
+func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
+	j, err := s.m.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Snapshot())
+}
+
+// events streams the job's episode events as Server-Sent Events.
+func (s *server) events(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	from := 0
+	if last := r.Header.Get("Last-Event-ID"); last != "" {
+		if n, err := strconv.Atoi(last); err == nil {
+			from = n + 1
+		}
+	}
+
+	ctx := r.Context()
+	for {
+		evs, seq, changed := j.Events(from)
+		for i, ev := range evs {
+			if err := writeSSE(w, "episode", seq+i, ev); err != nil {
+				return
+			}
+		}
+		if len(evs) > 0 {
+			flusher.Flush()
+			from = seq + len(evs)
+		}
+		if j.Done() {
+			// Re-read in case events landed between the batch and the
+			// status check, then finish with the terminal snapshot.
+			if evs, seq, _ := j.Events(from); len(evs) > 0 {
+				for i, ev := range evs {
+					if err := writeSSE(w, "episode", seq+i, ev); err != nil {
+						return
+					}
+				}
+				from = seq + len(evs)
+			}
+			_ = writeSSE(w, "done", from, j.Snapshot())
+			flusher.Flush()
+			return
+		}
+		select {
+		case <-changed:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// writeSSE emits one SSE frame with a JSON payload.
+func writeSSE(w http.ResponseWriter, event string, id int, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", event, id, data)
+	return err
+}
+
+// DecodeEvent parses one SSE `data:` payload back into an Event (client
+// helper shared by tests and examples).
+func DecodeEvent(data []byte) (nasaic.Event, error) {
+	var e nasaic.Event
+	err := json.Unmarshal(data, &e)
+	return e, err
+}

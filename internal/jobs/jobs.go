@@ -1,0 +1,466 @@
+// Package jobs turns pkg/nasaic's context-first Run API into a managed job
+// service: submitted co-explorations run as bounded concurrent jobs that
+// share one evaluation cache and memo bundle, stream per-episode events into
+// a replayable ring buffer, and can be cancelled at any time. The HTTP layer
+// in http.go exposes the manager as cmd/nasaicd's /v1/jobs API.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"nasaic/pkg/nasaic"
+)
+
+// Status is a job's lifecycle state.
+type Status string
+
+const (
+	StatusPending   Status = "pending"
+	StatusRunning   Status = "running"
+	StatusSucceeded Status = "succeeded"
+	StatusFailed    Status = "failed"
+	StatusCancelled Status = "cancelled"
+)
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool {
+	return s == StatusSucceeded || s == StatusFailed || s == StatusCancelled
+}
+
+// Spec is one job request. The zero value of every optional field selects
+// the engine default, so `{"workload":"W3"}` is a complete submission.
+type Spec struct {
+	// Workload is W1, W2 or W3 (required).
+	Workload string `json:"workload"`
+	// Episodes is β; 0 selects the default (500).
+	Episodes int `json:"episodes,omitempty"`
+	// HWSteps is φ; nil selects the default (10).
+	HWSteps *int `json:"hw_steps,omitempty"`
+	// Seed drives the deterministic search; 0 selects the default (1).
+	Seed int64 `json:"seed,omitempty"`
+	// Optimizer is "rl" (default) or "ea".
+	Optimizer string `json:"optimizer,omitempty"`
+	// Refine toggles the exploit phase; nil selects the default (on).
+	Refine *bool `json:"refine,omitempty"`
+	// Workers bounds the hardware-evaluation goroutines; 0 selects NumCPU.
+	Workers int `json:"workers,omitempty"`
+}
+
+// options translates the spec into facade options (shared memos and event
+// plumbing are added by the manager).
+func (sp Spec) options() ([]nasaic.Option, error) {
+	if sp.Workload == "" {
+		return nil, fmt.Errorf("jobs: workload is required")
+	}
+	opts := []nasaic.Option{nasaic.WithWorkload(sp.Workload)}
+	if sp.Episodes < 0 {
+		return nil, fmt.Errorf("jobs: episodes must be non-negative")
+	}
+	if sp.Episodes > 0 {
+		opts = append(opts, nasaic.WithEpisodes(sp.Episodes))
+	}
+	if sp.HWSteps != nil {
+		opts = append(opts, nasaic.WithHWSteps(*sp.HWSteps))
+	}
+	if sp.Seed != 0 {
+		opts = append(opts, nasaic.WithSeed(sp.Seed))
+	}
+	if sp.Optimizer != "" {
+		opts = append(opts, nasaic.WithOptimizer(nasaic.Optimizer(sp.Optimizer)))
+	}
+	if sp.Refine != nil {
+		opts = append(opts, nasaic.WithRefine(*sp.Refine))
+	}
+	if sp.Workers != 0 {
+		opts = append(opts, nasaic.WithWorkers(sp.Workers))
+	}
+	return opts, nil
+}
+
+// Options configures a Manager.
+type Options struct {
+	// MaxConcurrent bounds the jobs exploring at once; further submissions
+	// queue as pending. <=0 selects 2.
+	MaxConcurrent int
+	// MaxHistory bounds the finished jobs retained for inspection; the
+	// oldest terminal jobs are evicted first. <=0 selects 64.
+	MaxHistory int
+	// EventBuffer bounds each job's replayable event ring; once exceeded,
+	// the oldest events are dropped (subscribers that far behind see a
+	// gap). <=0 selects 4096.
+	EventBuffer int
+	// ShareMemos routes every job through one shared evaluation-cache and
+	// memo bundle (bit-identical; jobs warm-start each other). The zero
+	// value is off; cmd/nasaicd turns it on by default (-sharedmemo=false
+	// opts out).
+	ShareMemos bool
+}
+
+func (o Options) maxConcurrent() int {
+	if o.MaxConcurrent > 0 {
+		return o.MaxConcurrent
+	}
+	return 2
+}
+
+func (o Options) maxHistory() int {
+	if o.MaxHistory > 0 {
+		return o.MaxHistory
+	}
+	return 64
+}
+
+func (o Options) eventBuffer() int {
+	if o.EventBuffer > 0 {
+		return o.EventBuffer
+	}
+	return 4096
+}
+
+// ErrClosed is returned by Submit after the manager shut down.
+var ErrClosed = errors.New("jobs: manager closed")
+
+// ErrNotFound is returned for unknown job IDs.
+var ErrNotFound = errors.New("jobs: job not found")
+
+// Manager owns the job set: submission, bounded execution, streaming and
+// cancellation. All methods are safe for concurrent use.
+type Manager struct {
+	opts   Options
+	shared *nasaic.SharedMemos
+	ctx    context.Context
+	cancel context.CancelFunc
+	sem    chan struct{}
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	seq    int
+	jobs   map[string]*Job
+	order  []string // submission order, for listing and history eviction
+}
+
+// NewManager builds a manager; Close releases it.
+func NewManager(opts Options) *Manager {
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		opts:   opts,
+		ctx:    ctx,
+		cancel: cancel,
+		sem:    make(chan struct{}, opts.maxConcurrent()),
+		jobs:   make(map[string]*Job),
+	}
+	if opts.ShareMemos {
+		m.shared = nasaic.NewSharedMemos()
+	}
+	return m
+}
+
+// Submit validates the spec, registers a pending job and starts it as soon
+// as a concurrency slot frees up. It returns the job immediately.
+func (m *Manager) Submit(spec Spec) (*Job, error) {
+	if _, err := spec.options(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	m.seq++
+	id := fmt.Sprintf("job-%d", m.seq)
+	jctx, jcancel := context.WithCancel(m.ctx)
+	j := &Job{
+		ID:      id,
+		Spec:    spec,
+		created: time.Now(),
+		status:  StatusPending,
+		maxEv:   m.opts.eventBuffer(),
+		changed: make(chan struct{}),
+		cancel:  jcancel,
+	}
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+	m.evictLocked()
+	m.wg.Add(1)
+	m.mu.Unlock()
+
+	go m.run(j, jctx)
+	return j, nil
+}
+
+// run executes one job end to end on its own goroutine.
+func (m *Manager) run(j *Job, ctx context.Context) {
+	defer m.wg.Done()
+	defer j.cancel()
+
+	// Wait for a concurrency slot, unless cancelled while pending.
+	select {
+	case m.sem <- struct{}{}:
+	case <-ctx.Done():
+		j.finish(nil, ctx.Err())
+		return
+	}
+	defer func() { <-m.sem }()
+	if ctx.Err() != nil {
+		j.finish(nil, ctx.Err())
+		return
+	}
+
+	opts, err := j.Spec.options()
+	if err != nil { // unreachable: validated at submit
+		j.finish(nil, err)
+		return
+	}
+	if m.shared != nil {
+		opts = append(opts, nasaic.WithSharedMemos(m.shared))
+	}
+	opts = append(opts, nasaic.WithEventHandler(j.appendEvent))
+	j.setRunning()
+	res, err := nasaic.Run(ctx, opts...)
+	j.finish(res, err)
+}
+
+// Get returns the job with the given ID.
+func (m *Manager) Get(id string) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j, nil
+}
+
+// Cancel requests cancellation of the job with the given ID. Cancelling a
+// terminal job is a no-op; the returned job reflects the state at call time.
+func (m *Manager) Cancel(id string) (*Job, error) {
+	j, err := m.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	j.cancel()
+	return j, nil
+}
+
+// List returns every retained job in submission order.
+func (m *Manager) List() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id])
+	}
+	return out
+}
+
+// Close cancels every job, waits for them to drain, and rejects further
+// submissions.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	m.cancel()
+	m.wg.Wait()
+}
+
+// evictLocked drops the oldest terminal jobs beyond the history bound.
+// Non-terminal jobs are never evicted.
+func (m *Manager) evictLocked() {
+	excess := len(m.order) - m.opts.maxHistory()
+	if excess <= 0 {
+		return
+	}
+	kept := m.order[:0]
+	for _, id := range m.order {
+		if excess > 0 && m.jobs[id].Snapshot().Status.Terminal() {
+			delete(m.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	m.order = kept
+}
+
+// Job is one managed co-exploration. Fields are immutable after creation;
+// mutable state is read through Snapshot, Events and Wait.
+type Job struct {
+	ID   string
+	Spec Spec
+
+	cancel  context.CancelFunc
+	created time.Time
+	maxEv   int
+
+	mu       sync.Mutex
+	status   Status
+	started  time.Time
+	finished time.Time
+	events   []nasaic.Event
+	firstSeq int // sequence number of events[0] (ring drops the oldest)
+	result   *nasaic.Result
+	err      error
+	changed  chan struct{} // closed and replaced on every state change
+}
+
+// Snapshot is a point-in-time copy of a job's mutable state.
+type Snapshot struct {
+	ID         string     `json:"id"`
+	Spec       Spec       `json:"spec"`
+	Status     Status     `json:"status"`
+	CreatedAt  time.Time  `json:"created_at"`
+	StartedAt  *time.Time `json:"started_at,omitempty"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+	// Episodes is the number of events recorded so far (completed episodes).
+	Episodes int    `json:"episodes"`
+	Error    string `json:"error,omitempty"`
+	// Result is the run's outcome: complete on success, partial (best-so-
+	// far) when cancelled mid-run, nil while pending/running.
+	Result *nasaic.Result `json:"result,omitempty"`
+}
+
+// Snapshot copies the job's current state.
+func (j *Job) Snapshot() Snapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := Snapshot{
+		ID:        j.ID,
+		Spec:      j.Spec,
+		Status:    j.status,
+		CreatedAt: j.created,
+		Episodes:  j.firstSeq + len(j.events),
+		Result:    j.result,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		s.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		s.FinishedAt = &t
+	}
+	if j.err != nil {
+		s.Error = j.err.Error()
+	}
+	return s
+}
+
+// Err returns the job's terminal error (nil while running or on success).
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Result returns the job's result (nil until terminal; partial after
+// cancellation).
+func (j *Job) Result() *nasaic.Result {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+// Events returns the buffered events with sequence numbers >= from, the
+// sequence number of the first returned event, and a channel that is closed
+// on the next state change (new event or status transition). A from older
+// than the ring start snaps forward to the oldest retained event.
+func (j *Job) Events(from int) ([]nasaic.Event, int, <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	start := from - j.firstSeq
+	if start < 0 {
+		start = 0
+	}
+	var out []nasaic.Event
+	if start < len(j.events) {
+		out = append(out, j.events[start:]...)
+	}
+	return out, j.firstSeq + start, j.changed
+}
+
+// Done reports whether the job reached a terminal status.
+func (j *Job) Done() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status.Terminal()
+}
+
+// Wait blocks until the job is terminal or ctx is done.
+func (j *Job) Wait(ctx context.Context) error {
+	for {
+		j.mu.Lock()
+		terminal := j.status.Terminal()
+		ch := j.changed
+		j.mu.Unlock()
+		if terminal {
+			return nil
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// appendEvent records one episode event, dropping the oldest past the ring
+// bound, and wakes subscribers.
+func (j *Job) appendEvent(e nasaic.Event) {
+	j.mu.Lock()
+	j.events = append(j.events, e)
+	if len(j.events) > j.maxEv {
+		drop := len(j.events) - j.maxEv
+		j.events = append(j.events[:0], j.events[drop:]...)
+		j.firstSeq += drop
+	}
+	j.notifyLocked()
+	j.mu.Unlock()
+}
+
+func (j *Job) setRunning() {
+	j.mu.Lock()
+	j.status = StatusRunning
+	j.started = time.Now()
+	j.notifyLocked()
+	j.mu.Unlock()
+}
+
+// finish records the terminal state. A context error maps to
+// StatusCancelled (keeping the partial result); any other error to
+// StatusFailed. The result's engine handle is dropped — retained history
+// must not pin every job's evaluator, caches and controller in memory.
+func (j *Job) finish(res *nasaic.Result, err error) {
+	if res != nil {
+		res.DetachEngine()
+	}
+	j.mu.Lock()
+	j.result = res
+	j.err = err
+	switch {
+	case err == nil:
+		j.status = StatusSucceeded
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.status = StatusCancelled
+	default:
+		j.status = StatusFailed
+	}
+	j.finished = time.Now()
+	j.notifyLocked()
+	j.mu.Unlock()
+}
+
+// notifyLocked wakes every Events/Wait subscriber; callers hold j.mu.
+func (j *Job) notifyLocked() {
+	close(j.changed)
+	j.changed = make(chan struct{})
+}

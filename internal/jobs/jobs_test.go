@@ -1,0 +1,280 @@
+package jobs
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"nasaic/pkg/nasaic"
+)
+
+func intp(v int) *int { return &v }
+
+// quickSpec is a small deterministic job.
+func quickSpec(episodes int) Spec {
+	return Spec{Workload: "W3", Episodes: episodes, Seed: 1, Workers: 2}
+}
+
+func waitTerminal(t *testing.T, j *Job, timeout time.Duration) Snapshot {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := j.Wait(ctx); err != nil {
+		t.Fatalf("job %s not terminal after %v (status %s)", j.ID, timeout, j.Snapshot().Status)
+	}
+	return j.Snapshot()
+}
+
+func TestSubmitValidation(t *testing.T) {
+	m := NewManager(Options{})
+	defer m.Close()
+	if _, err := m.Submit(Spec{}); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	if _, err := m.Submit(Spec{Workload: "W3", Episodes: -1}); err == nil {
+		t.Fatal("negative episodes accepted")
+	}
+	if _, err := m.Get("job-404"); err != ErrNotFound {
+		t.Fatalf("Get unknown: err = %v, want ErrNotFound", err)
+	}
+	if _, err := m.Cancel("job-404"); err != ErrNotFound {
+		t.Fatalf("Cancel unknown: err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestJobLifecycle(t *testing.T) {
+	m := NewManager(Options{MaxConcurrent: 1})
+	defer m.Close()
+	j, err := m.Submit(quickSpec(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := waitTerminal(t, j, 2*time.Minute)
+	if snap.Status != StatusSucceeded {
+		t.Fatalf("status %s (err %q), want succeeded", snap.Status, snap.Error)
+	}
+	if snap.Result == nil || snap.Result.Episodes != 10 {
+		t.Fatalf("result missing or wrong episode count: %+v", snap.Result)
+	}
+	if snap.Episodes != 10 {
+		t.Fatalf("snapshot counts %d episodes, want 10", snap.Episodes)
+	}
+	evs, seq, _ := j.Events(0)
+	if seq != 0 || len(evs) != 10 {
+		t.Fatalf("events replay: seq=%d len=%d, want 0/10", seq, len(evs))
+	}
+	for i, e := range evs {
+		if e.Episode != i {
+			t.Fatalf("event %d carries episode %d", i, e.Episode)
+		}
+	}
+}
+
+func TestJobCancellation(t *testing.T) {
+	m := NewManager(Options{MaxConcurrent: 1})
+	defer m.Close()
+	j, err := m.Submit(quickSpec(100000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the first event, then cancel.
+	deadline := time.Now().Add(time.Minute)
+	for {
+		evs, _, ch := j.Events(0)
+		if len(evs) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no events after a minute")
+		}
+		select {
+		case <-ch:
+		case <-time.After(time.Second):
+		}
+	}
+	if _, err := m.Cancel(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	snap := waitTerminal(t, j, time.Minute)
+	if snap.Status != StatusCancelled {
+		t.Fatalf("status %s, want cancelled", snap.Status)
+	}
+	if snap.Result == nil {
+		t.Fatal("cancelled job lost its partial result")
+	}
+	if snap.Result.Episodes <= 0 || snap.Result.Episodes >= 100000 {
+		t.Fatalf("partial result episodes = %d", snap.Result.Episodes)
+	}
+}
+
+func TestPendingJobCancelledWhileQueued(t *testing.T) {
+	m := NewManager(Options{MaxConcurrent: 1})
+	defer m.Close()
+	long, err := m.Submit(quickSpec(100000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := m.Submit(quickSpec(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Cancel(queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	snap := waitTerminal(t, queued, time.Minute)
+	if snap.Status != StatusCancelled {
+		t.Fatalf("queued job status %s, want cancelled", snap.Status)
+	}
+	if snap.Result != nil {
+		t.Fatalf("never-started job has a result")
+	}
+	if _, err := m.Cancel(long.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, long, time.Minute)
+}
+
+// TestConcurrentSubmitStreamCancel is the -race exercise: many goroutines
+// submit, stream, snapshot and cancel against one manager at once.
+func TestConcurrentSubmitStreamCancel(t *testing.T) {
+	m := NewManager(Options{MaxConcurrent: 2, ShareMemos: true})
+	defer m.Close()
+
+	const jobs = 6
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			episodes := 8
+			if i%3 == 0 {
+				episodes = 100000 // long job: will be cancelled below
+			}
+			sp := quickSpec(episodes)
+			sp.Seed = int64(1 + i%2)
+			j, err := m.Submit(sp)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+
+			// Stream events concurrently with the run.
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				from := 0
+				for {
+					evs, seq, ch := j.Events(from)
+					for k, e := range evs {
+						if e.Episode != seq+k {
+							t.Errorf("job %s: event seq %d carries episode %d", j.ID, seq+k, e.Episode)
+							return
+						}
+					}
+					from = seq + len(evs)
+					if j.Done() {
+						return
+					}
+					select {
+					case <-ch:
+					case <-time.After(5 * time.Second):
+					}
+				}
+			}()
+
+			if episodes > 1000 {
+				// Cancel the long jobs once they show progress (or straight
+				// away if still pending).
+				time.Sleep(50 * time.Millisecond)
+				if _, err := m.Cancel(j.ID); err != nil {
+					t.Error(err)
+				}
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			if err := j.Wait(ctx); err != nil {
+				t.Errorf("job %s did not finish: %v", j.ID, err)
+			}
+			<-done
+			snap := j.Snapshot()
+			if episodes > 1000 && snap.Status != StatusCancelled {
+				t.Errorf("long job %s status %s, want cancelled", j.ID, snap.Status)
+			}
+			if episodes <= 1000 && snap.Status != StatusSucceeded {
+				t.Errorf("job %s status %s (err %q), want succeeded", j.ID, snap.Status, snap.Error)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if got := len(m.List()); got != jobs {
+		t.Fatalf("List reports %d jobs, want %d", got, jobs)
+	}
+}
+
+// TestSharedMemosBitIdentical: two identical jobs through the shared bundle
+// return bit-identical best solutions, the second warm-started.
+func TestSharedMemosBitIdentical(t *testing.T) {
+	m := NewManager(Options{MaxConcurrent: 1, ShareMemos: true})
+	defer m.Close()
+	run := func() *nasaic.Result {
+		j, err := m.Submit(quickSpec(12))
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := waitTerminal(t, j, 2*time.Minute)
+		if snap.Status != StatusSucceeded {
+			t.Fatalf("status %s: %s", snap.Status, snap.Error)
+		}
+		return snap.Result
+	}
+	a, b := run(), run()
+	if a.Best == nil || b.Best == nil {
+		t.Fatal("no best solution")
+	}
+	if a.Best.WeightedAccuracy != b.Best.WeightedAccuracy ||
+		a.Best.Design.String() != b.Best.Design.String() ||
+		a.Best.LatencyCycles != b.Best.LatencyCycles ||
+		a.Best.EnergyNJ != b.Best.EnergyNJ {
+		t.Fatalf("repeat job diverged:\n%+v\nvs\n%+v", a.Best, b.Best)
+	}
+	if b.Stats.Trainings != 0 {
+		t.Fatalf("second job retrained %d architectures", b.Stats.Trainings)
+	}
+}
+
+func TestManagerClose(t *testing.T) {
+	m := NewManager(Options{MaxConcurrent: 1})
+	j, err := m.Submit(quickSpec(100000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	if !j.Done() {
+		t.Fatal("Close returned with a live job")
+	}
+	if _, err := m.Submit(quickSpec(5)); err != ErrClosed {
+		t.Fatalf("Submit after Close: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestHistoryEviction(t *testing.T) {
+	m := NewManager(Options{MaxConcurrent: 1, MaxHistory: 2})
+	defer m.Close()
+	var last *Job
+	for i := 0; i < 4; i++ {
+		j, err := m.Submit(Spec{Workload: "W3", Episodes: 2, Seed: 1, Workers: 1, HWSteps: intp(2)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitTerminal(t, j, time.Minute)
+		last = j
+	}
+	if got := len(m.List()); got > 3 {
+		t.Fatalf("history holds %d jobs, want <= 3", got)
+	}
+	if _, err := m.Get(last.ID); err != nil {
+		t.Fatalf("newest job evicted: %v", err)
+	}
+}

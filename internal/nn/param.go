@@ -42,6 +42,14 @@ func (p *Param) GradNorm() float64 {
 // RMSProp implements the optimizer the paper trains the controller with
 // (§V-A: RMSProp, initial learning rate 0.99, exponential decay 0.5 every 50
 // steps).
+//
+// The squared-gradient state lives in one flattened arena spanning every
+// parameter (ROADMAP hot spot: the per-parameter serial walk over a map of
+// slices), so Step is a single fused pass over contiguous memory with the
+// per-parameter offsets resolved once and cached for the common case of an
+// unchanged parameter list. The arithmetic — including its operation order —
+// is unchanged, so updates are bit-identical to the pre-arena optimizer
+// (enforced by the differential test in param_test.go).
 type RMSProp struct {
 	LR           float64 // current learning rate
 	Decay        float64 // squared-gradient averaging factor
@@ -51,7 +59,14 @@ type RMSProp struct {
 	LRDecaySteps int
 
 	steps int
-	cache map[*Param][]float64
+	// arena holds every parameter's squared-gradient average back to back;
+	// offsets maps a parameter to its segment start. last/lastOffs cache
+	// the offsets of the previous Step's parameter list, skipping the map
+	// entirely while the caller keeps passing the same list.
+	arena    []float64
+	offsets  map[*Param]int
+	last     []*Param
+	lastOffs []int
 }
 
 // NewRMSProp returns an optimizer with the paper's hyperparameters.
@@ -63,29 +78,64 @@ func NewRMSProp() *RMSProp {
 		ClipNorm:     5.0,
 		LRDecay:      0.5,
 		LRDecaySteps: 50,
-		cache:        map[*Param][]float64{},
+		offsets:      map[*Param]int{},
 	}
 }
 
-// Step applies one RMSProp update to every parameter and advances the
-// learning-rate schedule.
-func (o *RMSProp) Step(params []*Param) {
-	for _, p := range params {
-		sq, ok := o.cache[p]
-		if !ok {
-			sq = make([]float64, len(p.Val.W))
-			o.cache[p] = sq
+// sameParams reports whether params is element-wise identical to the cached
+// list of the previous Step.
+func (o *RMSProp) sameParams(params []*Param) bool {
+	if len(params) != len(o.last) {
+		return false
+	}
+	for i, p := range params {
+		if o.last[i] != p {
+			return false
 		}
+	}
+	return true
+}
+
+// resolveOffsets returns each parameter's arena offset, extending the arena
+// for parameters seen for the first time.
+func (o *RMSProp) resolveOffsets(params []*Param) []int {
+	if o.sameParams(params) {
+		return o.lastOffs
+	}
+	offs := make([]int, len(params))
+	for i, p := range params {
+		off, ok := o.offsets[p]
+		if !ok {
+			off = len(o.arena)
+			o.arena = append(o.arena, make([]float64, len(p.Val.W))...)
+			o.offsets[p] = off
+		}
+		offs[i] = off
+	}
+	o.last = append([]*Param(nil), params...)
+	o.lastOffs = offs
+	return offs
+}
+
+// Step applies one RMSProp update to every parameter and advances the
+// learning-rate schedule: one fused pass per parameter segment of the
+// flattened arena (clip-norm scan over the gradient, then the element-wise
+// second-moment and value update in the original operation order).
+func (o *RMSProp) Step(params []*Param) {
+	offs := o.resolveOffsets(params)
+	for pi, p := range params {
+		sq := o.arena[offs[pi] : offs[pi]+len(p.Val.W)]
 		scale := 1.0
 		if o.ClipNorm > 0 {
 			if n := p.GradNorm(); n > o.ClipNorm {
 				scale = o.ClipNorm / n
 			}
 		}
-		for i, g := range p.Grad.W {
+		val, grad := p.Val.W, p.Grad.W
+		for i, g := range grad {
 			g *= scale
 			sq[i] = o.Decay*sq[i] + (1-o.Decay)*g*g
-			p.Val.W[i] -= o.LR * g / (math.Sqrt(sq[i]) + o.Eps)
+			val[i] -= o.LR * g / (math.Sqrt(sq[i]) + o.Eps)
 		}
 	}
 	o.steps++

@@ -1,0 +1,208 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"nasaic/internal/stats"
+)
+
+// refRMSProp is the pre-arena optimizer retained verbatim as the reference
+// for the fused Step: per-parameter squared-gradient slices in a map, same
+// arithmetic in the same order.
+type refRMSProp struct {
+	LR           float64
+	Decay        float64
+	Eps          float64
+	ClipNorm     float64
+	LRDecay      float64
+	LRDecaySteps int
+
+	steps int
+	cache map[*Param][]float64
+}
+
+func newRefRMSProp() *refRMSProp {
+	return &refRMSProp{
+		LR:           0.99,
+		Decay:        0.9,
+		Eps:          1e-8,
+		ClipNorm:     5.0,
+		LRDecay:      0.5,
+		LRDecaySteps: 50,
+		cache:        map[*Param][]float64{},
+	}
+}
+
+func (o *refRMSProp) Step(params []*Param) {
+	for _, p := range params {
+		sq, ok := o.cache[p]
+		if !ok {
+			sq = make([]float64, len(p.Val.W))
+			o.cache[p] = sq
+		}
+		scale := 1.0
+		if o.ClipNorm > 0 {
+			if n := p.GradNorm(); n > o.ClipNorm {
+				scale = o.ClipNorm / n
+			}
+		}
+		for i, g := range p.Grad.W {
+			g *= scale
+			sq[i] = o.Decay*sq[i] + (1-o.Decay)*g*g
+			p.Val.W[i] -= o.LR * g / (math.Sqrt(sq[i]) + o.Eps)
+		}
+	}
+	o.steps++
+	if o.LRDecaySteps > 0 && o.steps%o.LRDecaySteps == 0 {
+		o.LR *= o.LRDecay
+	}
+}
+
+// makeParams builds a random parameter set with gradients filled in.
+func makeParams(rng *stats.RNG, shapes [][2]int) []*Param {
+	params := make([]*Param, len(shapes))
+	for i, sh := range shapes {
+		p := NewParam("p", sh[0], sh[1])
+		p.InitXavier(rng)
+		for k := range p.Grad.W {
+			p.Grad.W[k] = 3 * (2*rng.Float64() - 1) // big enough to trip clipping
+		}
+		params[i] = p
+	}
+	return params
+}
+
+func cloneParams(params []*Param) []*Param {
+	out := make([]*Param, len(params))
+	for i, p := range params {
+		c := NewParam(p.Name, p.Val.R, p.Val.C)
+		copy(c.Val.W, p.Val.W)
+		copy(c.Grad.W, p.Grad.W)
+		out[i] = c
+	}
+	return out
+}
+
+// TestRMSPropFusedMatchesReference drives the fused arena Step and the
+// retained reference across many steps (spanning an LR-decay boundary) with
+// fresh gradients per step and a mid-stream parameter-set extension, and
+// requires every value, second-moment decision, and learning rate to stay
+// bit-identical.
+func TestRMSPropFusedMatchesReference(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		rng := stats.NewRNG(seed)
+		shapes := [][2]int{{9, 7}, {1, 13}, {24, 24}, {5, 1}}
+		a := makeParams(rng, shapes)
+		b := cloneParams(a)
+
+		fused := NewRMSProp()
+		fused.LRDecaySteps = 10
+		ref := newRefRMSProp()
+		ref.LRDecaySteps = 10
+
+		grad := func(params []*Param, gr *stats.RNG) {
+			for _, p := range params {
+				for k := range p.Grad.W {
+					p.Grad.W[k] = 3 * (2*gr.Float64() - 1)
+				}
+			}
+		}
+		gra := stats.NewRNG(seed ^ 0x9e)
+		grb := stats.NewRNG(seed ^ 0x9e)
+		for step := 0; step < 25; step++ {
+			if step == 12 {
+				// Extend the parameter set mid-stream: the arena must grow
+				// without disturbing existing state.
+				extra := makeParams(rng, [][2]int{{3, 8}})
+				a = append(a, extra[0])
+				b = append(b, cloneParams(extra)[0])
+			}
+			grad(a, gra)
+			grad(b, grb)
+			fused.Step(a)
+			ref.Step(b)
+			for pi := range a {
+				for k, v := range a[pi].Val.W {
+					if v != b[pi].Val.W[k] {
+						t.Fatalf("seed %d step %d: param %d[%d] diverged: fused %v ref %v",
+							seed, step, pi, k, v, b[pi].Val.W[k])
+					}
+				}
+			}
+			if fused.LR != ref.LR {
+				t.Fatalf("seed %d step %d: LR diverged: fused %v ref %v", seed, step, fused.LR, ref.LR)
+			}
+		}
+		if fused.Steps() != 25 {
+			t.Fatalf("step count %d, want 25", fused.Steps())
+		}
+	}
+}
+
+// TestRMSPropReorderedParams exercises the slow path: a permuted parameter
+// list must reuse the same arena segments (state follows the parameter, not
+// the position).
+func TestRMSPropReorderedParams(t *testing.T) {
+	rng := stats.NewRNG(3)
+	a := makeParams(rng, [][2]int{{4, 4}, {2, 6}, {8, 3}})
+	b := cloneParams(a)
+
+	fused := NewRMSProp()
+	ref := newRefRMSProp()
+	fused.Step(a)
+	ref.Step(b)
+
+	// Permute and step again with fresh gradients.
+	perm := []int{2, 0, 1}
+	ap := []*Param{a[2], a[0], a[1]}
+	gr := stats.NewRNG(11)
+	for _, p := range ap {
+		for k := range p.Grad.W {
+			p.Grad.W[k] = 2*gr.Float64() - 1
+		}
+	}
+	gr2 := stats.NewRNG(11)
+	bp := []*Param{b[2], b[0], b[1]}
+	for _, p := range bp {
+		for k := range p.Grad.W {
+			p.Grad.W[k] = 2*gr2.Float64() - 1
+		}
+	}
+	fused.Step(ap)
+	ref.Step(bp)
+	for i, pi := range perm {
+		_ = pi
+		for k, v := range ap[i].Val.W {
+			if v != bp[i].Val.W[k] {
+				t.Fatalf("permuted param %d[%d] diverged: fused %v ref %v", i, k, v, bp[i].Val.W[k])
+			}
+		}
+	}
+}
+
+// BenchmarkRMSPropStep times the fused arena update at the controller's
+// parameter scale (compare with BenchmarkRMSPropStepReference).
+func BenchmarkRMSPropStep(b *testing.B) {
+	rng := stats.NewRNG(1)
+	params := makeParams(rng, [][2]int{{192, 96}, {192, 1}, {48, 24}, {24, 1}, {48, 48}})
+	opt := NewRMSProp()
+	opt.LRDecaySteps = 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt.Step(params)
+	}
+}
+
+// BenchmarkRMSPropStepReference times the retained pre-arena optimizer on
+// the same parameter set.
+func BenchmarkRMSPropStepReference(b *testing.B) {
+	rng := stats.NewRNG(1)
+	params := makeParams(rng, [][2]int{{192, 96}, {192, 1}, {48, 24}, {24, 1}, {48, 48}})
+	opt := newRefRMSProp()
+	opt.LRDecaySteps = 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt.Step(params)
+	}
+}

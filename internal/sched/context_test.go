@@ -1,0 +1,126 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// cancelProblem builds an instance big enough that a solve takes visible
+// time, so cancellation has something to abort.
+func cancelProblem(layers, accels int) Problem {
+	p := Problem{NumAccels: accels, Deadline: 1 << 40}
+	ch := Chain{Name: "c"}
+	for i := 0; i < layers; i++ {
+		l := Layer{Name: "l"}
+		for j := 0; j < accels; j++ {
+			l.Options = append(l.Options, Option{
+				Cycles:   int64(100 + (i*7+j*13)%97),
+				EnergyNJ: float64(50 + (i*11+j*3)%89),
+			})
+		}
+		ch.Layers = append(ch.Layers, l)
+	}
+	p.Chains = []Chain{ch}
+	return p
+}
+
+func TestHeuristicCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := HeuristicCtx(ctx, cancelProblem(40, 4))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("HeuristicCtx on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestExhaustiveCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// 10 layers x 4 accels = ~1M leaves: far more than one ctxCheckLeaves
+	// window, so the poll must fire.
+	_, err := ExhaustiveCtx(ctx, cancelProblem(10, 4))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ExhaustiveCtx on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestExhaustiveCtxDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	<-ctx.Done() // an expired deadline must surface as DeadlineExceeded
+	start := time.Now()
+	_, err := ExhaustiveCtx(ctx, cancelProblem(10, 4))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("ExhaustiveCtx past deadline: err = %v, want DeadlineExceeded", err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("ExhaustiveCtx took %v after an expired deadline", el)
+	}
+}
+
+// TestExhaustiveCtxParallelCancelled drives the parallel enumeration split
+// with a cancelled context (forced via Tuning thresholds).
+func TestExhaustiveCtxParallelCancelled(t *testing.T) {
+	p := cancelProblem(10, 4)
+	p.Tuning = Tuning{ParallelExhaustMin: 2, MaxWorkers: 4}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := ExhaustiveCtx(ctx, p)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("parallel ExhaustiveCtx on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestHAPCtxUncancelledMatchesHAP(t *testing.T) {
+	p := cancelProblem(8, 3)
+	e1, r1, err := HAP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, r2, err := HAPCtx(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != e2 || r1.Makespan != r2.Makespan || r1.EnergyNJ != r2.EnergyNJ {
+		t.Fatalf("HAPCtx(Background) diverged from HAP: (%v %v) vs (%v %v)", e1, r1, e2, r2)
+	}
+}
+
+// TestTuningOverridesMatchDefaults verifies the exposed thresholds are
+// outcome-preserving: forcing the parallel paths on instances the defaults
+// keep sequential must not change the result.
+func TestTuningOverridesMatchDefaults(t *testing.T) {
+	p := cancelProblem(30, 3)
+	base, err := Heuristic(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forced := p
+	forced.Tuning = Tuning{ParallelMoveMin: 1, MaxWorkers: 4}
+	got, err := Heuristic(forced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Makespan != got.Makespan || base.EnergyNJ != got.EnergyNJ {
+		t.Fatalf("forced-parallel Heuristic diverged: (%d %v) vs (%d %v)",
+			base.Makespan, base.EnergyNJ, got.Makespan, got.EnergyNJ)
+	}
+
+	pe := cancelProblem(8, 3) // 3^8 = 6561 leaves
+	baseE, err := Exhaustive(pe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forcedE := pe
+	forcedE.Tuning = Tuning{ParallelExhaustMin: 2, MaxWorkers: 4}
+	gotE, err := Exhaustive(forcedE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseE.Makespan != gotE.Makespan || baseE.EnergyNJ != gotE.EnergyNJ {
+		t.Fatalf("forced-parallel Exhaustive diverged: (%d %v) vs (%d %v)",
+			baseE.Makespan, baseE.EnergyNJ, gotE.Makespan, gotE.EnergyNJ)
+	}
+}

@@ -20,6 +20,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -54,6 +55,46 @@ type Problem struct {
 	NumAccels int
 	// Deadline is the latency spec LS in cycles.
 	Deadline int64
+	// Tuning overrides the solver parallelism thresholds; the zero value
+	// selects the package defaults. Tuning never changes results, only which
+	// scans fan out across workers.
+	Tuning Tuning
+}
+
+// Tuning exposes the solver's parallel-scan thresholds, which were tuned on a
+// single-core container (see ROADMAP). Each field's zero value selects the
+// package default; results are bit-identical for any setting because every
+// parallel scan reduces in a deterministic order.
+type Tuning struct {
+	// ParallelMoveMin is the minimum number of candidate moves per
+	// refinement round before Heuristic parallelizes the move scan.
+	ParallelMoveMin int
+	// ParallelExhaustMin is the minimum enumeration size before Exhaustive
+	// splits the assignment space across workers.
+	ParallelExhaustMin int
+	// MaxWorkers bounds the worker pool of one solve.
+	MaxWorkers int
+}
+
+func (t Tuning) moveMin() int {
+	if t.ParallelMoveMin > 0 {
+		return t.ParallelMoveMin
+	}
+	return parallelMoveMin
+}
+
+func (t Tuning) exhaustMin() int {
+	if t.ParallelExhaustMin > 0 {
+		return t.ParallelExhaustMin
+	}
+	return parallelExhaustMin
+}
+
+func (t Tuning) maxWorkers() int {
+	if t.MaxWorkers > 0 {
+		return t.MaxWorkers
+	}
+	return maxSolverWorkers
 }
 
 // Validate checks structural consistency.
@@ -160,26 +201,27 @@ func minLatencyAssignment(p Problem) Assignment {
 	return a
 }
 
-// Solver parallelism bounds. Small instances (the ones inside the RL search
-// loop, which already fans episodes out across core's worker pool) stay
-// sequential; only scans big enough to amortize goroutine startup fan out.
+// Default solver parallelism bounds (overridable per Problem via Tuning).
+// Small instances (the ones inside the RL search loop, which already fans
+// episodes out across core's worker pool) stay sequential; only scans big
+// enough to amortize goroutine startup fan out.
 const (
-	// parallelMoveMin is the minimum number of candidate moves per
+	// parallelMoveMin is the default minimum number of candidate moves per
 	// refinement round before Heuristic parallelizes the move scan.
 	parallelMoveMin = 128
-	// parallelExhaustMin is the minimum enumeration size before Exhaustive
-	// splits the assignment space across workers.
+	// parallelExhaustMin is the default minimum enumeration size before
+	// Exhaustive splits the assignment space across workers.
 	parallelExhaustMin = 1 << 14
-	// maxSolverWorkers bounds the worker pool of one solve.
+	// maxSolverWorkers is the default bound on the worker pool of one solve.
 	maxSolverWorkers = 8
 )
 
 // solverWorkers picks the worker count for a scan of `units` independent
-// work items.
-func solverWorkers(units int) int {
+// work items under the given pool bound.
+func solverWorkers(units, max int) int {
 	w := runtime.GOMAXPROCS(0)
-	if w > maxSolverWorkers {
-		w = maxSolverWorkers
+	if w > max {
+		w = max
 	}
 	if w > units {
 		w = units
@@ -189,6 +231,10 @@ func solverWorkers(units int) int {
 	}
 	return w
 }
+
+// ctxCheckNodes is how many enumeration nodes the exhaustive solver visits
+// between context-cancellation checks.
+const ctxCheckNodes = 1 << 10
 
 // energySlack bounds the float64 discrepancy between the O(1) option-energy
 // delta of a single-layer move and the full-sum delta the solver's decision
@@ -320,8 +366,8 @@ func incClamp(x int64) int64 {
 // order, so the selected move is identical for any worker count.
 func (s *hsolver) scan(phase1 bool) move {
 	nSites := len(s.sites)
-	nw := solverWorkers(nSites)
-	if nSites*(s.p.NumAccels-1) < parallelMoveMin || nw < 2 {
+	nw := solverWorkers(nSites, s.p.Tuning.maxWorkers())
+	if nSites*(s.p.NumAccels-1) < s.p.Tuning.moveMin() || nw < 2 {
 		return s.scanRange(phase1, 0, nSites, s.a, s.ev)
 	}
 	if s.workers == nil {
@@ -372,7 +418,17 @@ func (s *hsolver) scan(phase1 bool) move {
 // energy. The returned Result reports Feasible=false when no deadline-
 // meeting schedule was found.
 func Heuristic(p Problem) (Result, error) {
+	return HeuristicCtx(context.Background(), p)
+}
+
+// HeuristicCtx is Heuristic with cooperative cancellation: the solver checks
+// ctx between refinement rounds and returns ctx's error once it is done.
+// Uncancelled solves are bit-identical to Heuristic.
+func HeuristicCtx(ctx context.Context, p Problem) (Result, error) {
 	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
 	s := &hsolver{p: &p, ev: newEvaluator(&p), a: minLatencyAssignment(p)}
@@ -386,6 +442,9 @@ func Heuristic(p Problem) (Result, error) {
 	// Phase 1: if infeasible, try to shorten the makespan by moving layers
 	// off the critical (busiest) accelerator.
 	for s.curMk > p.Deadline {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		m := s.scan(true)
 		if !m.ok {
 			break
@@ -399,6 +458,9 @@ func Heuristic(p Problem) (Result, error) {
 
 	// Phase 2: ratio-greedy energy refinement under the deadline.
 	for {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		m := s.scan(false)
 		if !m.ok {
 			break
@@ -509,6 +571,7 @@ func (s *exhaustShared) snapshot() (bool, float64) {
 
 // exhaustState is one worker's depth-first enumeration state.
 type exhaustState struct {
+	ctx       context.Context
 	p         *Problem
 	pre       *exhaustPre
 	ev        *evaluator
@@ -521,10 +584,16 @@ type exhaustState struct {
 	haveFeasible bool
 	have         bool
 	shared       *exhaustShared
+
+	// nodes counts dfs entries; every ctxCheckNodes of them the ctx is
+	// polled and aborted is latched, unwinding the recursion promptly.
+	nodes   int
+	aborted bool
 }
 
-func newExhaustState(p *Problem, pre *exhaustPre, shared *exhaustShared) *exhaustState {
+func newExhaustState(ctx context.Context, p *Problem, pre *exhaustPre, shared *exhaustShared) *exhaustState {
 	st := &exhaustState{
+		ctx:       ctx,
 		p:         p,
 		pre:       pre,
 		ev:        newEvaluator(p),
@@ -600,6 +669,14 @@ func (s *exhaustState) leaf() {
 //   - before one exists, subtrees that are provably infeasible and cannot
 //     improve the running minimum-makespan fallback (integer-exact).
 func (s *exhaustState) dfs(pos int, eSoFar float64) {
+	if s.aborted {
+		return
+	}
+	s.nodes++
+	if s.nodes%ctxCheckNodes == 0 && s.ctx.Err() != nil {
+		s.aborted = true
+		return
+	}
 	if pos < 0 {
 		s.leaf()
 		return
@@ -641,7 +718,18 @@ func (s *exhaustState) dfs(pos int, eSoFar float64) {
 // admissible bounds and fans out across workers on large instances; both are
 // outcome-preserving, so the result is identical to the plain enumeration.
 func Exhaustive(p Problem) (Result, error) {
+	return ExhaustiveCtx(context.Background(), p)
+}
+
+// ExhaustiveCtx is Exhaustive with cooperative cancellation: workers poll ctx
+// every ctxCheckNodes dfs entries (and before claiming each enumeration
+// prefix) and the call returns ctx's error once it is done. Uncancelled
+// solves are bit-identical to Exhaustive.
+func ExhaustiveCtx(ctx context.Context, p Problem) (Result, error) {
 	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
 	n := p.Size()
@@ -653,18 +741,27 @@ func Exhaustive(p Problem) (Result, error) {
 		}
 	}
 	pre := newExhaustPre(&p)
-	if nw := solverWorkers(total); total >= parallelExhaustMin && nw >= 2 {
-		return exhaustParallel(&p, pre, nw), nil
+	if nw := solverWorkers(total, p.Tuning.maxWorkers()); total >= p.Tuning.exhaustMin() && nw >= 2 {
+		res, err := exhaustParallel(ctx, &p, pre, nw)
+		if err != nil {
+			return Result{}, err
+		}
+		return res, nil
 	}
-	st := newExhaustState(&p, pre, newExhaustShared())
+	st := newExhaustState(ctx, &p, pre, newExhaustShared())
 	st.dfs(n-1, 0)
+	if st.aborted {
+		return Result{}, ctx.Err()
+	}
 	return st.best, nil
 }
 
 // exhaustParallel splits the enumeration over the top assignment digits and
 // folds the per-prefix results in prefix (= enumeration) order, reproducing
-// the sequential running-minimum selection exactly.
-func exhaustParallel(p *Problem, pre *exhaustPre, nw int) Result {
+// the sequential running-minimum selection exactly. On cancellation every
+// worker stops claiming prefixes, unwinds, and the call returns ctx's error
+// with no goroutines left behind.
+func exhaustParallel(ctx context.Context, p *Problem, pre *exhaustPre, nw int) (Result, error) {
 	k := p.NumAccels
 	pd, prefixes := 0, 1
 	for prefixes < 4*nw && pd < pre.n {
@@ -679,15 +776,20 @@ func exhaustParallel(p *Problem, pre *exhaustPre, nw int) Result {
 	sums := make([]summary, prefixes)
 	shared := newExhaustShared()
 	var next atomic.Int64
+	var aborted atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < nw; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			st := newExhaustState(p, pre, shared)
+			st := newExhaustState(ctx, p, pre, shared)
 			for {
 				pi := int(next.Add(1) - 1)
 				if pi >= prefixes {
+					return
+				}
+				if ctx.Err() != nil {
+					aborted.Store(true)
 					return
 				}
 				st.reset()
@@ -702,11 +804,18 @@ func exhaustParallel(p *Problem, pre *exhaustPre, nw int) Result {
 					eSoFar += o.EnergyNJ
 				}
 				st.dfs(pre.n-pd-1, eSoFar)
+				if st.aborted {
+					aborted.Store(true)
+					return
+				}
 				sums[pi] = summary{best: st.best, haveFeasible: st.haveFeasible, have: st.have}
 			}
 		}()
 	}
 	wg.Wait()
+	if aborted.Load() {
+		return Result{}, ctx.Err()
+	}
 
 	var best Result
 	haveFeasible, have := false, false
@@ -723,7 +832,7 @@ func exhaustParallel(p *Problem, pre *exhaustPre, nw int) Result {
 		}
 		have = true
 	}
-	return best
+	return best, nil
 }
 
 // HAP is the paper's solver function re = HAP(D, AIC, LS): it returns the
@@ -731,14 +840,21 @@ func exhaustParallel(p *Problem, pre *exhaustPre, nw int) Result {
 // schedule exists. It dispatches to Exhaustive for small instances and the
 // heuristic otherwise.
 func HAP(p Problem) (float64, Result, error) {
+	return HAPCtx(context.Background(), p)
+}
+
+// HAPCtx is HAP with cooperative cancellation (see HeuristicCtx and
+// ExhaustiveCtx); it returns ctx's error once ctx is done. Uncancelled
+// solves are bit-identical to HAP.
+func HAPCtx(ctx context.Context, p Problem) (float64, Result, error) {
 	var (
 		res Result
 		err error
 	)
 	if canExhaust(p) {
-		res, err = Exhaustive(p)
+		res, err = ExhaustiveCtx(ctx, p)
 	} else {
-		res, err = Heuristic(p)
+		res, err = HeuristicCtx(ctx, p)
 	}
 	if err != nil {
 		return 0, Result{}, err

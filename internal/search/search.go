@@ -14,6 +14,7 @@
 package search
 
 import (
+	"context"
 	"math"
 
 	"nasaic/internal/accel"
@@ -38,9 +39,12 @@ type Candidate struct {
 }
 
 // evalCandidate fills the metrics of a candidate via the shared evaluator.
-func evalCandidate(e *core.Evaluator, w workload.Workload, nets []*dnn.Network,
-	choices [][]int, d accel.Design) Candidate {
-	m := e.HWEval(nets, d)
+func evalCandidate(ctx context.Context, e *core.Evaluator, w workload.Workload, nets []*dnn.Network,
+	choices [][]int, d accel.Design) (Candidate, error) {
+	m, err := e.HWEvalCtx(ctx, nets, d)
+	if err != nil {
+		return Candidate{}, err
+	}
 	accs := e.Accuracies(nets)
 	return Candidate{
 		Choices:  choices,
@@ -53,7 +57,7 @@ func evalCandidate(e *core.Evaluator, w workload.Workload, nets []*dnn.Network,
 		EnergyNJ:   m.EnergyNJ,
 		AreaUM2:    m.AreaUM2,
 		Feasible:   m.Feasible,
-	}
+	}, nil
 }
 
 // nasArchitectures runs mono-objective NAS per task: it samples the space
@@ -107,8 +111,9 @@ func RandomDesign(hw accel.Space, rng *stats.RNG) accel.Design {
 // hwSamples random hardware designs are brute-force evaluated for the fixed
 // architectures; the design with the lowest penalty (closest to
 // satisfiable) is returned. In the paper, no design satisfies the specs for
-// the NAS-chosen networks (Table I, rows "NAS→ASIC").
-func NASToASIC(w workload.Workload, cfg core.Config, archSamples, hwSamples int) (Candidate, error) {
+// the NAS-chosen networks (Table I, rows "NAS→ASIC"). The context is checked
+// per sample; cancellation returns its error.
+func NASToASIC(ctx context.Context, w workload.Workload, cfg core.Config, archSamples, hwSamples int) (Candidate, error) {
 	e, err := core.NewEvaluator(w, cfg)
 	if err != nil {
 		return Candidate{}, err
@@ -120,13 +125,19 @@ func NASToASIC(w workload.Workload, cfg core.Config, archSamples, hwSamples int)
 	bestPen := math.Inf(1)
 	for s := 0; s < hwSamples; s++ {
 		d := RandomDesign(cfg.HW, rng)
-		m := e.HWEval(nets, d)
+		m, err := e.HWEvalCtx(ctx, nets, d)
+		if err != nil {
+			return Candidate{}, err
+		}
 		pen := e.Penalty(m)
 		// Prefer lower penalty; among (near-)equals prefer lower latency so
 		// the reported best-effort design is the performance frontier.
 		if pen < bestPen-1e-9 || (pen < bestPen+1e-9 && m.Latency < best.Latency) {
 			bestPen = pen
-			best = evalCandidate(e, w, nets, choices, d)
+			best, err = evalCandidate(ctx, e, w, nets, choices, d)
+			if err != nil {
+				return Candidate{}, err
+			}
 		}
 	}
 	return best, nil
@@ -135,16 +146,20 @@ func NASToASIC(w workload.Workload, cfg core.Config, archSamples, hwSamples int)
 // ClosestToSpecDesign runs the Monte Carlo hardware search of the
 // ASIC→HW-NAS baseline: mcRuns random designs are evaluated with the
 // NAS-identified architectures and the design with the smallest normalized
-// distance to the spec point ⟨LS, ES, AS⟩ is returned.
-func ClosestToSpecDesign(w workload.Workload, e *core.Evaluator, cfg core.Config,
-	nets []*dnn.Network, mcRuns int, rng *stats.RNG) accel.Design {
+// distance to the spec point ⟨LS, ES, AS⟩ is returned. The context is
+// checked per sample; cancellation returns its error.
+func ClosestToSpecDesign(ctx context.Context, w workload.Workload, e *core.Evaluator, cfg core.Config,
+	nets []*dnn.Network, mcRuns int, rng *stats.RNG) (accel.Design, error) {
 	sp := w.Specs
 	best := RandomDesign(cfg.HW, rng)
 	bestDist := math.Inf(1)
 	bestWithinArea := false
 	for s := 0; s < mcRuns; s++ {
 		d := RandomDesign(cfg.HW, rng)
-		m := e.HWEval(nets, d)
+		m, err := e.HWEvalCtx(ctx, nets, d)
+		if err != nil {
+			return accel.Design{}, err
+		}
 		// Area is (nearly) architecture-independent, so a design whose area
 		// already exceeds AS can never host a spec-satisfying architecture;
 		// prefer designs inside the area budget.
@@ -160,21 +175,24 @@ func ClosestToSpecDesign(w workload.Workload, e *core.Evaluator, cfg core.Config
 			bestDist, best, bestWithinArea = dist, d, withinArea
 		}
 	}
-	return best
+	return best, nil
 }
 
 // ASICToHWNAS runs the second baseline: fix the closest-to-spec design from
 // mcRuns Monte Carlo hardware samples, then run hardware-aware NAS on that
 // design — random architecture search keeping the best feasible weighted
 // accuracy (an MnasNet-style single-design search [30]).
-func ASICToHWNAS(w workload.Workload, cfg core.Config, mcRuns, nasSamples int) (Candidate, error) {
+func ASICToHWNAS(ctx context.Context, w workload.Workload, cfg core.Config, mcRuns, nasSamples int) (Candidate, error) {
 	e, err := core.NewEvaluator(w, cfg)
 	if err != nil {
 		return Candidate{}, err
 	}
 	rng := stats.NewRNG(cfg.Seed ^ 0x17a5)
 	_, nasNets := nasArchitectures(w, 200, rng)
-	design := ClosestToSpecDesign(w, e, cfg, nasNets, mcRuns, rng)
+	design, err := ClosestToSpecDesign(ctx, w, e, cfg, nasNets, mcRuns, rng)
+	if err != nil {
+		return Candidate{}, err
+	}
 
 	var best Candidate
 	have := false
@@ -185,11 +203,17 @@ func ASICToHWNAS(w workload.Workload, cfg core.Config, mcRuns, nasSamples int) (
 			choices[ti] = t.Space.Random(rng)
 			nets[ti] = t.Space.MustDecode(choices[ti])
 		}
-		m := e.HWEval(nets, design)
+		m, err := e.HWEvalCtx(ctx, nets, design)
+		if err != nil {
+			return Candidate{}, err
+		}
 		if !m.Feasible {
 			continue
 		}
-		c := evalCandidate(e, w, nets, choices, design)
+		c, err := evalCandidate(ctx, e, w, nets, choices, design)
+		if err != nil {
+			return Candidate{}, err
+		}
 		if !have || c.Weighted > best.Weighted {
 			best, have = c, true
 		}
@@ -203,7 +227,10 @@ func ASICToHWNAS(w workload.Workload, cfg core.Config, mcRuns, nasSamples int) (
 			choices[ti] = t.Space.Smallest()
 			nets[ti] = t.Space.MustDecode(choices[ti])
 		}
-		best = evalCandidate(e, w, nets, choices, design)
+		best, err = evalCandidate(ctx, e, w, nets, choices, design)
+		if err != nil {
+			return Candidate{}, err
+		}
 	}
 	return best, nil
 }
@@ -224,8 +251,9 @@ type MonteCarloResult struct {
 	Stats core.EvalStats
 }
 
-// MonteCarlo co-samples runs random (architectures, design) pairs.
-func MonteCarlo(w workload.Workload, cfg core.Config, runs int) (*MonteCarloResult, error) {
+// MonteCarlo co-samples runs random (architectures, design) pairs. The
+// context is checked per sample; cancellation returns its error.
+func MonteCarlo(ctx context.Context, w workload.Workload, cfg core.Config, runs int) (*MonteCarloResult, error) {
 	e, err := core.NewEvaluator(w, cfg)
 	if err != nil {
 		return nil, err
@@ -242,7 +270,10 @@ func MonteCarlo(w workload.Workload, cfg core.Config, runs int) (*MonteCarloResu
 			nets[ti] = t.Space.MustDecode(choices[ti])
 		}
 		d := RandomDesign(cfg.HW, rng)
-		c := evalCandidate(e, w, nets, choices, d)
+		c, err := evalCandidate(ctx, e, w, nets, choices, d)
+		if err != nil {
+			return nil, err
+		}
 		res.All = append(res.All, c)
 		if !c.Feasible {
 			continue

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"testing"
 
 	"nasaic/internal/core"
@@ -18,7 +19,7 @@ func fastCfg(seed int64) core.Config {
 // be made to fit the specs by any amount of hardware search (Table I).
 func TestNASToASICViolatesSpecs(t *testing.T) {
 	for _, w := range []workload.Workload{workload.W1(), workload.W2()} {
-		c, err := NASToASIC(w, fastCfg(3), 150, 200)
+		c, err := NASToASIC(context.Background(), w, fastCfg(3), 150, 200)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -35,7 +36,7 @@ func TestNASToASICViolatesSpecs(t *testing.T) {
 
 func TestASICToHWNASMeetsSpecs(t *testing.T) {
 	for _, w := range []workload.Workload{workload.W1(), workload.W2()} {
-		c, err := ASICToHWNAS(w, fastCfg(3), 500, 400)
+		c, err := ASICToHWNAS(context.Background(), w, fastCfg(3), 500, 400)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -51,7 +52,7 @@ func TestASICToHWNASMeetsSpecs(t *testing.T) {
 
 func TestMonteCarloProducts(t *testing.T) {
 	w := workload.W3()
-	res, err := MonteCarlo(w, fastCfg(7), 400)
+	res, err := MonteCarlo(context.Background(), w, fastCfg(7), 400)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestMonteCarloProducts(t *testing.T) {
 // accuracy-optimal feasible point. With enough samples the two must differ
 // (weak form: best weighted >= closest's weighted).
 func TestHeuristicNotBetterThanStar(t *testing.T) {
-	res, err := MonteCarlo(workload.W3(), fastCfg(11), 600)
+	res, err := MonteCarlo(context.Background(), workload.W3(), fastCfg(11), 600)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,11 +104,11 @@ func TestRandomDesignAlwaysValid(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
-	a, err := NASToASIC(workload.W1(), fastCfg(5), 50, 50)
+	a, err := NASToASIC(context.Background(), workload.W1(), fastCfg(5), 50, 50)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := NASToASIC(workload.W1(), fastCfg(5), 50, 50)
+	b, err := NASToASIC(context.Background(), workload.W1(), fastCfg(5), 50, 50)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,191 @@
+package nasaic
+
+import (
+	"fmt"
+
+	"nasaic/internal/core"
+	"nasaic/internal/evalcache"
+)
+
+// Optimizer selects the search strategy of one run.
+type Optimizer string
+
+const (
+	// OptimizerRL is the paper's RNN-controller REINFORCE search.
+	OptimizerRL Optimizer = "rl"
+	// OptimizerEA is the evolutionary alternative sharing the same
+	// decision encoding, evaluator and reward.
+	OptimizerEA Optimizer = "ea"
+)
+
+// settings is the resolved configuration of one Run call.
+type settings struct {
+	workload  string
+	cfg       core.Config
+	optimizer Optimizer
+	handlers  []func(Event)
+	channels  []chan<- Event
+	errs      []error
+}
+
+// Option configures a Run call. Options are functional and applied in order;
+// invalid values surface as an error from Run, never a panic.
+type Option func(*settings)
+
+func defaultSettings() settings {
+	return settings{
+		workload:  "W1",
+		cfg:       core.DefaultConfig(),
+		optimizer: OptimizerRL,
+	}
+}
+
+// WithWorkload selects the workload to explore: W1 (CIFAR-10 + Nuclei), W2
+// (CIFAR-10 + STL-10) or W3 (CIFAR-10 ×2). Default W1.
+func WithWorkload(name string) Option {
+	return func(s *settings) { s.workload = name }
+}
+
+// WithEpisodes sets β, the number of exploration episodes (default 500).
+func WithEpisodes(n int) Option {
+	return func(s *settings) { s.cfg.Episodes = n }
+}
+
+// WithHWSteps sets φ, the hardware-only exploration steps per episode
+// (default 10).
+func WithHWSteps(n int) Option {
+	return func(s *settings) { s.cfg.HWSteps = n }
+}
+
+// WithSeed sets the random seed; runs are deterministic per seed.
+func WithSeed(seed int64) Option {
+	return func(s *settings) { s.cfg.Seed = seed }
+}
+
+// WithWorkers bounds the goroutines used for parallel hardware evaluation;
+// <=0 selects NumCPU (capped at 16).
+func WithWorkers(n int) Option {
+	return func(s *settings) { s.cfg.Workers = n }
+}
+
+// WithOptimizer selects the search strategy (default OptimizerRL).
+func WithOptimizer(o Optimizer) Option {
+	return func(s *settings) {
+		if o != OptimizerRL && o != OptimizerEA {
+			s.errs = append(s.errs, fmt.Errorf("nasaic: unknown optimizer %q (want %q or %q)", o, OptimizerRL, OptimizerEA))
+			return
+		}
+		s.optimizer = o
+	}
+}
+
+// WithRefine toggles the feasibility-preserving coordinate-descent exploit
+// phase after the search loop (default on).
+func WithRefine(on bool) Option {
+	return func(s *settings) { s.cfg.Refine = on }
+}
+
+// WithHWCache toggles the sharded hardware-evaluation cache (default on).
+// Results are bit-identical either way; only wall clock changes.
+func WithHWCache(on bool) Option {
+	return func(s *settings) { s.cfg.HWCache = on }
+}
+
+// WithLayerCostMemo toggles the per-layer cost-model memo (default on).
+// Results are bit-identical either way.
+func WithLayerCostMemo(on bool) Option {
+	return func(s *settings) { s.cfg.LayerCostMemo = on }
+}
+
+// WithProcessSharedLayerMemo promotes the layer-cost memo to the
+// process-wide one, warm-starting repeat runs (default off). Results are
+// bit-identical either way.
+func WithProcessSharedLayerMemo(on bool) Option {
+	return func(s *settings) { s.cfg.ShareLayerMemo = on }
+}
+
+// WithBatchedController toggles the controller's lockstep batched
+// policy-gradient fast path (default on). The batched path is bit-identical
+// to the sequential one.
+func WithBatchedController(on bool) Option {
+	return func(s *settings) { s.cfg.BatchedController = on }
+}
+
+// WithSolverTuning overrides the HAP solver's parallel-scan thresholds: the
+// minimum candidate moves per heuristic refinement round and the minimum
+// enumeration size per exhaustive solve before the scan fans out across
+// workers, plus the per-solve worker-pool bound. Zero keeps the respective
+// built-in default. Results are bit-identical for any setting.
+func WithSolverTuning(moveScanMin, exhaustSplitMin, maxWorkers int) Option {
+	return func(s *settings) {
+		s.cfg.SolverMoveScanMin = moveScanMin
+		s.cfg.SolverExhaustSplitMin = exhaustSplitMin
+		s.cfg.SolverMaxWorkers = maxWorkers
+	}
+}
+
+// WithEventHandler subscribes fn to per-episode progress events. Handlers
+// run synchronously on the exploration goroutine in subscription order; a
+// slow handler slows the run down but never changes its results.
+func WithEventHandler(fn func(Event)) Option {
+	return func(s *settings) {
+		if fn == nil {
+			s.errs = append(s.errs, fmt.Errorf("nasaic: WithEventHandler(nil)"))
+			return
+		}
+		s.handlers = append(s.handlers, fn)
+	}
+}
+
+// WithEventChannel streams per-episode progress events into ch. Sends are
+// blocking, so the receiver paces the run — but once the run's context is
+// done, undeliverable events are dropped instead of wedging the cancelled
+// run on an abandoned channel. Run does not close the channel.
+func WithEventChannel(ch chan<- Event) Option {
+	return func(s *settings) {
+		if ch == nil {
+			s.errs = append(s.errs, fmt.Errorf("nasaic: WithEventChannel(nil)"))
+			return
+		}
+		s.channels = append(s.channels, ch)
+	}
+}
+
+// SharedMemos bundles the caches several runs in one process may share: the
+// hardware-evaluation cache, the accuracy-predictor memo, and (by enabling
+// the process-wide table) the layer-cost memo. All three memoize pure
+// functions, so sharing changes which run pays for a computation but never
+// any result.
+type SharedMemos struct {
+	acc *core.AccuracyMemo
+	hw  *evalcache.Cache[core.HWMetrics]
+}
+
+// NewSharedMemos returns an empty shared-memo bundle.
+func NewSharedMemos() *SharedMemos {
+	return &SharedMemos{
+		acc: core.NewAccuracyMemo(),
+		hw:  evalcache.New[core.HWMetrics](evalcache.Options{}),
+	}
+}
+
+// HWCacheStats snapshots the shared hardware-evaluation cache counters.
+func (m *SharedMemos) HWCacheStats() evalcache.Stats { return m.hw.Stats() }
+
+// AccuracyMemoSize reports the number of memoized architectures.
+func (m *SharedMemos) AccuracyMemoSize() int { return m.acc.Size() }
+
+// WithSharedMemos routes the run's hardware-evaluation cache and accuracy
+// memo through m and enables the process-wide layer-cost memo, so concurrent
+// or consecutive runs warm-start each other.
+func WithSharedMemos(m *SharedMemos) Option {
+	return func(s *settings) {
+		if m == nil {
+			s.errs = append(s.errs, fmt.Errorf("nasaic: WithSharedMemos(nil)"))
+			return
+		}
+		s.cfg.AccMemo = m.acc
+		s.cfg.SharedHWCache = m.hw
+		s.cfg.ShareLayerMemo = true
+	}
+}
