@@ -30,6 +30,7 @@ func main() {
 		layermemo  = flag.Bool("layermemo", true, "memoize per-layer cost-model queries (results are identical either way)")
 		sharedmemo = flag.Bool("sharedmemo", false, "share the layer-cost and accuracy memos across the figure's searches (warm-start; results are identical)")
 		batchrl    = flag.Bool("batchrl", true, "use the controller's batched policy-gradient fast path (results are identical either way)")
+		solverckpt = flag.Bool("solverckpt", true, "use the HAP heuristic's checkpointed move-scan simulator (results are identical either way)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the regeneration to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -61,6 +62,7 @@ func main() {
 	b.DisableLayerMemo = !*layermemo
 	b.SharedMemo = *sharedmemo
 	b.SequentialController = !*batchrl
+	b.NoSolverCheckpoint = !*solverckpt
 
 	switch *fig {
 	case 1:

@@ -107,6 +107,13 @@ type Config struct {
 	SolverMoveScanMin     int
 	SolverExhaustSplitMin int
 	SolverMaxWorkers      int
+	// SolverNoCheckpoint disables the HAP heuristic's checkpointed move-scan
+	// simulator, making every candidate move replay the whole schedule
+	// instead of resuming from the moved layer's snapshot. The checkpointed
+	// path is bit-identical (enforced by internal/sched's differential
+	// tests) and roughly 2x faster per refinement round; the zero value
+	// keeps it on.
+	SolverNoCheckpoint bool
 	// BatchedController routes each episode's φ hardware-only rollouts and
 	// their policy-gradient accumulation through the controller's lockstep
 	// SampleBatch/AccumulateBatch fast path (matrix-matrix nn kernels).

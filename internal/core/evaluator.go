@@ -389,6 +389,7 @@ func (e *Evaluator) buildProblem(nets []*dnn.Network, d accel.Design, active []i
 			ParallelMoveMin:    e.Cfg.SolverMoveScanMin,
 			ParallelExhaustMin: e.Cfg.SolverExhaustSplitMin,
 			MaxWorkers:         e.Cfg.SolverMaxWorkers,
+			DisableCheckpoints: e.Cfg.SolverNoCheckpoint,
 		},
 	}
 	for ni, n := range nets {

@@ -49,6 +49,10 @@ type Budget struct {
 	// path is bit-identical to the sequential one; this switch exists for
 	// the speedup control benchmarks.
 	SequentialController bool
+	// NoSolverCheckpoint disables the HAP heuristic's checkpointed
+	// move-scan simulator (the zero value keeps it on). Bit-identical
+	// either way; exists for the solver speedup controls.
+	NoSolverCheckpoint bool
 }
 
 // PaperBudget is the full-fidelity configuration of §V-A.
@@ -71,6 +75,7 @@ func (b Budget) config() core.Config {
 	cfg.LayerCostMemo = !b.DisableLayerMemo
 	cfg.ShareLayerMemo = b.SharedMemo
 	cfg.BatchedController = !b.SequentialController
+	cfg.SolverNoCheckpoint = b.NoSolverCheckpoint
 	return cfg
 }
 

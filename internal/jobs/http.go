@@ -21,7 +21,12 @@ import (
 //
 // The events stream replays the job's buffered events (from Last-Event-ID,
 // when the client reconnects) and then follows live ones; it ends with a
-// terminal `done` event carrying the final snapshot.
+// terminal `done` event carrying the final snapshot. When the requested
+// resume point has already been evicted from the job's bounded event ring, a
+// `reset` frame announcing the first retained sequence number precedes the
+// replay, so slow clients see the gap instead of a silent snap-forward. The
+// done frame's id is the job's total episode count — stable across
+// reconnects, unlike a live sequence number.
 func NewHandler(m *Manager) http.Handler {
 	s := &server{m: m}
 	mux := http.NewServeMux()
@@ -130,35 +135,56 @@ func (s *server) events(w http.ResponseWriter, r *http.Request) {
 
 	from := 0
 	if last := r.Header.Get("Last-Event-ID"); last != "" {
-		if n, err := strconv.Atoi(last); err == nil {
+		// A bogus negative id must not push the resume point below 0: the
+		// gap arithmetic would count phantom events in the reset frame.
+		if n, err := strconv.Atoi(last); err == nil && n >= 0 {
 			from = n + 1
 		}
 	}
 
 	ctx := r.Context()
-	for {
-		evs, seq, changed := j.Events(from)
-		for i, ev := range evs {
-			if err := writeSSE(w, "episode", seq+i, ev); err != nil {
-				return
+	// emit writes one batch of replayed/live events, prefixing a `reset`
+	// frame whenever the ring start moved past the resume point (seq > from):
+	// the events [from, seq) were evicted, and a client must learn it lost
+	// them rather than silently snap forward. The reset frame's id is seq-1,
+	// so a client that reconnects with it resumes exactly at the announced
+	// first retained event.
+	emit := func(evs []nasaic.Event, seq int) bool {
+		if seq > from {
+			if err := writeSSE(w, "reset", seq-1, resetFrame{FirstSeq: seq, Missed: seq - from}); err != nil {
+				return false
 			}
 		}
-		if len(evs) > 0 {
+		for i, ev := range evs {
+			if err := writeSSE(w, "episode", seq+i, ev); err != nil {
+				return false
+			}
+		}
+		if seq+len(evs) > from {
 			flusher.Flush()
 			from = seq + len(evs)
 		}
+		return true
+	}
+	for {
+		evs, seq, changed := j.Events(from)
+		if !emit(evs, seq) {
+			return
+		}
 		if j.Done() {
 			// Re-read in case events landed between the batch and the
-			// status check, then finish with the terminal snapshot.
+			// status check, then finish with the terminal snapshot. The
+			// done id is the total episode count, which no longer changes —
+			// a reconnect that stored it replays nothing and receives the
+			// same done frame under the same id.
+			snap := j.Snapshot()
 			if evs, seq, _ := j.Events(from); len(evs) > 0 {
-				for i, ev := range evs {
-					if err := writeSSE(w, "episode", seq+i, ev); err != nil {
-						return
-					}
+				if !emit(evs, seq) {
+					return
 				}
-				from = seq + len(evs)
+				snap = j.Snapshot()
 			}
-			_ = writeSSE(w, "done", from, j.Snapshot())
+			_ = writeSSE(w, "done", snap.Episodes, snap)
 			flusher.Flush()
 			return
 		}
@@ -168,6 +194,15 @@ func (s *server) events(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// resetFrame is the payload of a `reset` SSE frame: the stream could not
+// resume where the client asked because the job's bounded event ring already
+// evicted that range. FirstSeq is the sequence number of the next event on
+// the stream; Missed counts the evicted events the client will never see.
+type resetFrame struct {
+	FirstSeq int `json:"first_seq"`
+	Missed   int `json:"missed"`
 }
 
 // writeSSE emits one SSE frame with a JSON payload.

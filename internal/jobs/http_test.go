@@ -139,6 +139,23 @@ func TestHTTPEndToEnd(t *testing.T) {
 	if doneFrame.event != "done" {
 		t.Fatalf("last frame is %q, want done", doneFrame.event)
 	}
+	// The done id is the stable episode count: a client that stores it and
+	// reconnects must get the same done frame under the same id, not a
+	// second done under the next live sequence number.
+	if doneFrame.id != fmt.Sprint(episodes) {
+		t.Fatalf("done id %s, want stable %d", doneFrame.id, episodes)
+	}
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/v1/jobs/"+snap.ID+"/events", nil)
+	req.Header.Set("Last-Event-ID", doneFrame.id)
+	reconn, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	redone := readSSE(t, bufio.NewReader(reconn.Body), 2)
+	reconn.Body.Close()
+	if len(redone) != 1 || redone[0].event != "done" || redone[0].id != doneFrame.id {
+		t.Fatalf("reconnect after done saw %+v, want one done with id %s", redone, doneFrame.id)
+	}
 	var final Snapshot
 	if err := json.Unmarshal(doneFrame.data, &final); err != nil {
 		t.Fatal(err)
@@ -176,6 +193,110 @@ func TestHTTPEndToEnd(t *testing.T) {
 	viaGet := getJob(t, srv.URL, snap.ID)
 	if viaGet.Status != StatusSucceeded || viaGet.Result.Best.WeightedAccuracy != got.WeightedAccuracy {
 		t.Fatalf("GET snapshot diverged: %+v", viaGet)
+	}
+}
+
+// TestHTTPReplayGapReset pins the event-ring eviction contract: a stream
+// whose resume point predates the bounded ring's start must begin with an
+// explicit `reset` frame naming the first retained sequence number (and how
+// many events were lost) instead of silently snapping forward, and the
+// terminal done frame must carry the stable episode-count id on every
+// reconnect.
+func TestHTTPReplayGapReset(t *testing.T) {
+	const episodes, ring = 9, 4
+	m := NewManager(Options{MaxConcurrent: 1, EventBuffer: ring})
+	defer m.Close()
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+
+	snap := postJob(t, srv.URL, Spec{Workload: "W3", Episodes: episodes, Seed: 1, Workers: 1})
+	j, err := m.Get(snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh connect (no Last-Event-ID, resume point 0) after the ring
+	// evicted episodes 0..4: reset frame first, then the retained tail, then
+	// the stable done frame.
+	stream := func(lastEventID string, maxFrames int) []sseFrame {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodGet, srv.URL+"/v1/jobs/"+snap.ID+"/events", nil)
+		if lastEventID != "" {
+			req.Header.Set("Last-Event-ID", lastEventID)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return readSSE(t, bufio.NewReader(resp.Body), maxFrames)
+	}
+
+	frames := stream("", ring+3)
+	if len(frames) != ring+2 {
+		t.Fatalf("got %d frames, want reset + %d episodes + done", len(frames), ring)
+	}
+	first := episodes - ring
+	if frames[0].event != "reset" {
+		t.Fatalf("first frame is %q, want reset", frames[0].event)
+	}
+	var rf struct {
+		FirstSeq int `json:"first_seq"`
+		Missed   int `json:"missed"`
+	}
+	if err := json.Unmarshal(frames[0].data, &rf); err != nil {
+		t.Fatal(err)
+	}
+	if rf.FirstSeq != first || rf.Missed != first {
+		t.Fatalf("reset frame %+v, want first_seq=%d missed=%d", rf, first, first)
+	}
+	if frames[0].id != fmt.Sprint(first-1) {
+		t.Fatalf("reset id %s, want %d (a reconnect from it resumes at first_seq)", frames[0].id, first-1)
+	}
+	for i, f := range frames[1 : 1+ring] {
+		ev, err := DecodeEvent(f.data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.event != "episode" || ev.Episode != first+i || f.id != fmt.Sprint(first+i) {
+			t.Fatalf("frame %d: %s episode %d id %s, want episode %d", i, f.event, ev.Episode, f.id, first+i)
+		}
+	}
+	done := frames[1+ring]
+	if done.event != "done" || done.id != fmt.Sprint(episodes) {
+		t.Fatalf("done frame %q id %s, want done id %d", done.event, done.id, episodes)
+	}
+
+	// A reconnect whose Last-Event-ID is still retained must NOT see a
+	// reset, and the done id must be unchanged.
+	frames = stream(fmt.Sprint(episodes-2), 3)
+	if len(frames) != 2 || frames[0].event != "episode" || frames[0].id != fmt.Sprint(episodes-1) ||
+		frames[1].event != "done" || frames[1].id != fmt.Sprint(episodes) {
+		t.Fatalf("in-ring reconnect saw %+v, want episode %d + done %d", frames, episodes-1, episodes)
+	}
+
+	// A client that stored the done id and reconnects gets the same done
+	// frame under the same id — not a second one under a shifted id.
+	frames = stream(fmt.Sprint(episodes), 2)
+	if len(frames) != 1 || frames[0].event != "done" || frames[0].id != fmt.Sprint(episodes) {
+		t.Fatalf("post-done reconnect saw %+v, want a single done with id %d", frames, episodes)
+	}
+
+	// An evicted reconnect (Last-Event-ID inside the lost range) sees the
+	// reset with the right missed count.
+	frames = stream("1", ring+3)
+	if len(frames) != ring+2 || frames[0].event != "reset" {
+		t.Fatalf("evicted reconnect: %d frames, first %q; want reset + %d episodes + done",
+			len(frames), frames[0].event, ring)
+	}
+	if err := json.Unmarshal(frames[0].data, &rf); err != nil {
+		t.Fatal(err)
+	}
+	if rf.FirstSeq != first || rf.Missed != first-2 {
+		t.Fatalf("evicted reconnect reset %+v, want first_seq=%d missed=%d", rf, first, first-2)
 	}
 }
 

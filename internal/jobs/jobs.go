@@ -373,7 +373,9 @@ func (j *Job) Result() *nasaic.Result {
 // Events returns the buffered events with sequence numbers >= from, the
 // sequence number of the first returned event, and a channel that is closed
 // on the next state change (new event or status transition). A from older
-// than the ring start snaps forward to the oldest retained event.
+// than the ring start snaps forward to the oldest retained event; callers
+// detect the gap by the returned start exceeding from (the HTTP layer turns
+// it into an explicit `reset` frame for SSE clients).
 func (j *Job) Events(from int) ([]nasaic.Event, int, <-chan struct{}) {
 	j.mu.Lock()
 	defer j.mu.Unlock()

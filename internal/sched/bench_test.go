@@ -77,6 +77,23 @@ func BenchmarkHeuristicSmall(b *testing.B)  { benchSolver(b, benchSmall(), Heuri
 func BenchmarkHeuristicMedium(b *testing.B) { benchSolver(b, benchMedium(), Heuristic) }
 func BenchmarkHeuristicLarge(b *testing.B)  { benchSolver(b, benchLarge(), Heuristic) }
 
+// The NoCheckpoint benchmarks time the same solver with the checkpointed
+// move-scan simulator disabled (every candidate move replays the whole
+// schedule). The ns/op ratio against BenchmarkHeuristic* is the checkpointed
+// path's speedup; CI's bench smoke records it and fails if the checkpointed
+// path regresses more than 10% against the >=1.5x acceptance bar.
+func benchNoCheckpoint(p Problem) Problem {
+	p.Tuning.DisableCheckpoints = true
+	return p
+}
+
+func BenchmarkHeuristicNoCheckpointMedium(b *testing.B) {
+	benchSolver(b, benchNoCheckpoint(benchMedium()), Heuristic)
+}
+func BenchmarkHeuristicNoCheckpointLarge(b *testing.B) {
+	benchSolver(b, benchNoCheckpoint(benchLarge()), Heuristic)
+}
+
 // The Reference benchmarks time the retained pre-rewrite solver on the same
 // instances; the ns/op ratio against BenchmarkHeuristic* is the PR's
 // speedup (the acceptance bar is >=5x at the medium size).
@@ -104,6 +121,40 @@ func BenchmarkExhaustiveReferenceSmall(b *testing.B) {
 
 func BenchmarkExhaustiveReferenceLarge(b *testing.B) {
 	benchSolver(b, benchProblem(4, 2, 7, 2), referenceExhaustive)
+}
+
+// benchBnBProblem is a nodeBudget-scale instance (3^24 assignments, beyond
+// Exhaustive's guard) with a deadline loose enough that the search completes.
+func benchBnBProblem() Problem {
+	p := benchProblem(5, 2, 12, 3)
+	p.Deadline = p.Deadline * 3
+	return p
+}
+
+// BenchmarkBranchAndBound times the unified solver (exhaustPre suffix
+// bounds, bounded leaf simulation, shared-bound parallel split) against the
+// retained pre-unification reference on the same instance; both report the
+// schedule energy so the smoke can check the results agree.
+func BenchmarkBranchAndBound(b *testing.B) {
+	p := benchBnBProblem()
+	benchSolver(b, p, func(p Problem) (Result, error) {
+		res, complete, err := BranchAndBound(p, 4<<20)
+		if err == nil && !complete {
+			b.Fatal("search did not complete within budget")
+		}
+		return res, err
+	})
+}
+
+func BenchmarkBranchAndBoundReference(b *testing.B) {
+	p := benchBnBProblem()
+	benchSolver(b, p, func(p Problem) (Result, error) {
+		res, complete, err := referenceBranchAndBound(p, 4<<20)
+		if err == nil && !complete {
+			b.Fatal("search did not complete within budget")
+		}
+		return res, err
+	})
 }
 
 func benchHAP(b *testing.B, p Problem) {

@@ -1,151 +1,127 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 )
 
 // BranchAndBound solves the HAP instance exactly for instances beyond
-// Exhaustive's reach: depth-first search over layer assignments with two
-// admissible lower bounds —
+// Exhaustive's reach: depth-first search over layer assignments, branched in
+// decreasing energy-spread order (which tightens the bounds early), pruned
+// with the same admissible suffix bounds as Exhaustive —
 //
-//   - energy: assigned energy + Σ per-layer minimum energies of the rest;
+//   - energy: assigned energy + Σ per-layer minimum energies of the rest,
+//     cut against the best feasible energy published so far (with the
+//     energySlack float margin, so a true winner is never pruned);
 //   - makespan: the larger of (a) any chain's assigned cycles plus its
 //     remaining per-layer minimum cycles and (b) any sub-accelerator's
-//     already-assigned load — both are lower bounds on the list-scheduled
-//     makespan, so pruning against them is sound.
+//     already-assigned load — both integer-exact lower bounds on the
+//     list-scheduled makespan;
+//   - before any feasible leaf exists, subtrees that are provably infeasible
+//     and cannot improve the running minimum-makespan fallback.
 //
-// nodeBudget bounds the explored search-tree nodes; the second return value
-// reports whether the search completed (true ⇒ the result is optimal in the
-// same sense as Exhaustive). Layers are branched in decreasing
-// cost-spread order, which tightens the bounds early.
+// The search reuses the exhaustPre/exhaustState machinery (suffix-bound
+// precompute, bounded leaf simulation, shared best-energy bound) over the
+// spread-sorted branch order, and — like Exhaustive — fans out across a
+// worker pool on large instances, with the per-prefix results folded in
+// enumeration order so a completed search is deterministic for any worker
+// count.
+//
+// nodeBudget bounds the explored search-tree nodes (shared across workers);
+// the second return value reports whether the search completed within it
+// (true ⇒ the result is optimal in the same sense as Exhaustive). A
+// budget-truncated parallel search still returns the best leaf found, but
+// which leaves were explored then depends on worker scheduling.
 func BranchAndBound(p Problem, nodeBudget int) (Result, bool, error) {
+	return BranchAndBoundCtx(context.Background(), p, nodeBudget)
+}
+
+// BranchAndBoundCtx is BranchAndBound with cooperative cancellation: workers
+// poll ctx every ctxCheckNodes dfs entries (and before claiming each
+// enumeration prefix) and the call returns ctx's error once it is done.
+// Uncancelled solves are bit-identical to BranchAndBound.
+func BranchAndBoundCtx(ctx context.Context, p Problem, nodeBudget int) (Result, bool, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, false, err
 	}
 	if nodeBudget <= 0 {
 		return Result{}, false, fmt.Errorf("sched: node budget must be positive")
 	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, false, err
+	}
 
-	type site struct {
+	// Branch order: decreasing energy spread. Site construction order and
+	// sort are kept identical to the pre-unification solver, so the
+	// enumeration order — and with it the first-enumerated tie-breaks — are
+	// unchanged (pinned by the differential tests).
+	type bsite struct {
 		chain, layer int
-		minCycles    int64
-		minEnergy    float64
 		spread       float64
 	}
-	var sites []site
+	var sites []bsite
 	for ci, c := range p.Chains {
 		for li, l := range c.Layers {
-			s := site{chain: ci, layer: li,
-				minCycles: l.Options[0].Cycles, minEnergy: l.Options[0].EnergyNJ}
-			maxE := l.Options[0].EnergyNJ
+			minE, maxE := l.Options[0].EnergyNJ, l.Options[0].EnergyNJ
 			for _, o := range l.Options[1:] {
-				if o.Cycles < s.minCycles {
-					s.minCycles = o.Cycles
-				}
-				if o.EnergyNJ < s.minEnergy {
-					s.minEnergy = o.EnergyNJ
+				if o.EnergyNJ < minE {
+					minE = o.EnergyNJ
 				}
 				if o.EnergyNJ > maxE {
 					maxE = o.EnergyNJ
 				}
 			}
-			s.spread = maxE - s.minEnergy
-			sites = append(sites, s)
+			sites = append(sites, bsite{chain: ci, layer: li, spread: maxE - minE})
 		}
 	}
 	sort.Slice(sites, func(i, j int) bool { return sites[i].spread > sites[j].spread })
 
-	// Suffix sums of the optimistic remainders, in branch order.
+	// dfs branches position n-1 first; depth d of the sorted order maps to
+	// position n-1-d, so leaves appear in exactly the old branch order.
 	n := len(sites)
-	sufEnergy := make([]float64, n+1)
-	for i := n - 1; i >= 0; i-- {
-		sufEnergy[i] = sufEnergy[i+1] + sites[i].minEnergy
+	chainOf := make([]int, n)
+	layerOf := make([]int, n)
+	for k := 0; k < n; k++ {
+		chainOf[k] = sites[n-1-k].chain
+		layerOf[k] = sites[n-1-k].layer
 	}
-	sufChainCycles := make([]map[int]int64, n+1)
-	sufChainCycles[n] = map[int]int64{}
-	for i := n - 1; i >= 0; i-- {
-		m := make(map[int]int64, len(p.Chains))
-		for k, v := range sufChainCycles[i+1] {
-			m[k] = v
-		}
-		m[sites[i].chain] += sites[i].minCycles
-		sufChainCycles[i] = m
+	pre := newExhaustPreFrom(&p, chainOf, layerOf)
+	budget := newNodeBudget(int64(nodeBudget))
+
+	// Parallel split: worth it only when both the enumeration space and the
+	// node budget are large enough to amortize the worker pool.
+	capped := 1
+	for i := 0; i < n && capped < math.MaxInt/p.NumAccels; i++ {
+		capped *= p.NumAccels
 	}
-
-	a := make(Assignment, len(p.Chains))
-	for ci, c := range p.Chains {
-		a[ci] = make([]int, len(c.Layers))
+	eff := capped
+	if nodeBudget < eff {
+		eff = nodeBudget
 	}
-
-	var (
-		best        Result
-		haveBest    bool
-		bestAnyMk   int64 = math.MaxInt64
-		bestAny     Result
-		haveAny     bool
-		nodes       int
-		complete    = true
-		chainLoad   = make([]int64, len(p.Chains))
-		accelLoad   = make([]int64, p.NumAccels)
-		energySoFar float64
-		ev          = newEvaluator(&p) // validated once above; leaves run unchecked
-	)
-
-	var dfs func(depth int)
-	dfs = func(depth int) {
-		if nodes >= nodeBudget {
-			complete = false
-			return
+	if nw := solverWorkers(eff, p.Tuning.maxWorkers()); eff >= p.Tuning.exhaustMin() && nw >= 2 {
+		best, have, err := exhaustParallel(ctx, &p, pre, nw, budget)
+		if err != nil {
+			return Result{}, false, err
 		}
-		nodes++
-		if depth == n {
-			ev.run(a, nil)
-			mk, en := ev.makespan, ev.energy
-			if mk <= p.Deadline && (!haveBest || en < best.EnergyNJ) {
-				best = ev.result(a)
-				haveBest = true
-			}
-			if mk < bestAnyMk {
-				bestAnyMk = mk
-				bestAny = ev.result(a)
-				haveAny = true
-			}
-			return
+		complete := !budget.hit.Load()
+		if !have {
+			return Result{}, complete, fmt.Errorf("sched: branch and bound explored no leaf within budget %d", nodeBudget)
 		}
-		s := sites[depth]
-		opts := p.Chains[s.chain].Layers[s.layer].Options
-		for j := range opts {
-			// Energy bound.
-			e := energySoFar + opts[j].EnergyNJ + sufEnergy[depth+1]
-			if haveBest && e >= best.EnergyNJ {
-				continue
-			}
-			// Makespan bounds (sound for the list scheduler).
-			cl := chainLoad[s.chain] + opts[j].Cycles + sufChainCycles[depth+1][s.chain]
-			al := accelLoad[j] + opts[j].Cycles
-			if haveBest && (cl > p.Deadline || al > p.Deadline) {
-				continue
-			}
-
-			a[s.chain][s.layer] = j
-			energySoFar += opts[j].EnergyNJ
-			chainLoad[s.chain] += opts[j].Cycles
-			accelLoad[j] += opts[j].Cycles
-			dfs(depth + 1)
-			accelLoad[j] -= opts[j].Cycles
-			chainLoad[s.chain] -= opts[j].Cycles
-			energySoFar -= opts[j].EnergyNJ
-		}
-	}
-	dfs(0)
-
-	if haveBest {
 		return best, complete, nil
 	}
-	if haveAny {
-		return bestAny, complete, nil
+
+	st := newExhaustState(ctx, &p, pre, newExhaustShared())
+	st.budget = budget
+	st.claimChunk = int64(nodeBudget) // sequential: one exact claim
+	st.dfs(n-1, 0)
+	if st.aborted {
+		return Result{}, false, ctx.Err()
 	}
-	return Result{}, complete, fmt.Errorf("sched: branch and bound explored no leaf within budget %d", nodeBudget)
+	complete := !budget.hit.Load()
+	if !st.have {
+		return Result{}, complete, fmt.Errorf("sched: branch and bound explored no leaf within budget %d", nodeBudget)
+	}
+	return st.best, complete, nil
 }

@@ -3,6 +3,8 @@ package sched
 import (
 	"context"
 	"errors"
+	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -70,6 +72,110 @@ func TestExhaustiveCtxParallelCancelled(t *testing.T) {
 	_, err := ExhaustiveCtx(ctx, p)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("parallel ExhaustiveCtx on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+// errAfterCtx reports no error for the first n Err() polls, then a cancel:
+// it lands the cancellation at a deterministic point inside the solver's
+// move scan, where a timer could not.
+type errAfterCtx struct {
+	context.Context
+	left atomic.Int64
+}
+
+func newErrAfterCtx(n int64) *errAfterCtx {
+	c := &errAfterCtx{Context: context.Background()}
+	c.left.Store(n)
+	return c
+}
+
+func (c *errAfterCtx) Err() error {
+	if c.left.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestHeuristicCtxCancelMidScanPartialBest cancels HeuristicCtx in the
+// middle of a move scan and requires (a) the partial best returned alongside
+// the error to be a real, self-consistent schedule of the instance, (b) no
+// scan-worker goroutines left behind, and (c) a following solve on the same
+// instance to be untouched by the aborted one — no stale checkpoint reuse
+// across calls.
+func TestHeuristicCtxCancelMidScanPartialBest(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	p := cancelProblem(40, 4)
+	p.Deadline = 170 * 40 / 2 // tight enough that refinement has real work
+	before := runtime.NumGoroutine()
+	// Any complete solve polls ctx at least 42 times (entry + round check +
+	// one poll per site of the first 40-site scan), so every count below
+	// that is guaranteed to cancel mid-solve — most of them mid-scan.
+	for _, polls := range []int64{1, 3, 10, 25, 39} {
+		for _, tuning := range []Tuning{
+			{},                                  // sequential checkpointed scan
+			{DisableCheckpoints: true},          // sequential full-sim scan
+			{ParallelMoveMin: 1, MaxWorkers: 4}, // parallel scan, per-worker arenas
+		} {
+			pc := p
+			pc.Tuning = tuning
+			ctx := newErrAfterCtx(polls)
+			res, err := HeuristicCtx(ctx, pc)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("polls=%d tuning=%+v: err = %v, want context.Canceled", polls, tuning, err)
+			}
+			if res.Assign == nil {
+				t.Fatalf("polls=%d tuning=%+v: cancelled solve lost the partial best", polls, tuning)
+			}
+			// The partial best must be exactly what a fresh evaluation of
+			// its assignment reports — not a half-updated scan artifact.
+			check, err := Evaluate(pc, res.Assign)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if check.Makespan != res.Makespan || check.EnergyNJ != res.EnergyNJ || check.Feasible != res.Feasible {
+				t.Fatalf("polls=%d tuning=%+v: partial best (%d %v %v) inconsistent with its assignment (%d %v %v)",
+					polls, tuning, res.Makespan, res.EnergyNJ, res.Feasible,
+					check.Makespan, check.EnergyNJ, check.Feasible)
+			}
+
+			// A subsequent uncancelled solve must be pristine.
+			want, err := Heuristic(pc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			again, err := HeuristicCtx(context.Background(), pc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want.Makespan != again.Makespan || want.EnergyNJ != again.EnergyNJ {
+				t.Fatalf("polls=%d tuning=%+v: solve after a cancelled one diverged: (%d %v) vs (%d %v)",
+					polls, tuning, want.Makespan, want.EnergyNJ, again.Makespan, again.EnergyNJ)
+			}
+		}
+	}
+	// Scan workers must all have unwound; allow the runtime a moment to
+	// retire them.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Fatalf("goroutine leak: %d before, %d after cancelled scans", before, g)
+	}
+}
+
+// TestBranchAndBoundCtxCancelled covers the unified B&B's cancellation on
+// both the sequential and the parallel path.
+func TestBranchAndBoundCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := BranchAndBoundCtx(ctx, cancelProblem(10, 4), 1<<30); !errors.Is(err, context.Canceled) {
+		t.Fatalf("sequential BranchAndBoundCtx: err = %v, want context.Canceled", err)
+	}
+	p := cancelProblem(10, 4)
+	p.Tuning = Tuning{ParallelExhaustMin: 2, MaxWorkers: 4}
+	if _, _, err := BranchAndBoundCtx(ctx, p, 1<<30); !errors.Is(err, context.Canceled) {
+		t.Fatalf("parallel BranchAndBoundCtx: err = %v, want context.Canceled", err)
 	}
 }
 

@@ -211,6 +211,210 @@ func TestDifferentialExhaustiveParallel(t *testing.T) {
 	}
 }
 
+// TestDifferentialCheckpointResume pins the checkpointed simulator against
+// full simulation at the engine level: for every site of a random assignment
+// and every alternative sub-accelerator, resuming from the site's snapshot
+// must reproduce the full run bit for bit — makespan, float energy bits,
+// buffer demand — and agree with runBounded on every early-abort decision.
+func TestDifferentialCheckpointResume(t *testing.T) {
+	rng := stats.NewRNG(707)
+	for trial := 0; trial < 120; trial++ {
+		scale := 1.0
+		if trial%3 == 0 {
+			scale = 1e8
+		}
+		// maxChains 1 exercises the single-chain fast path's snapshots too.
+		p := randomProblem(rng, 1+rng.Intn(4), 8, 2+rng.Intn(3), scale)
+		a := make(Assignment, len(p.Chains))
+		for ci, c := range p.Chains {
+			a[ci] = make([]int, len(c.Layers))
+			for li := range c.Layers {
+				a[ci][li] = rng.Intn(p.NumAccels)
+			}
+		}
+		ev := newEvaluator(&p)
+		ck := newCkpts(&p)
+		ev.runCheckpointed(a, ck)
+		full := newEvaluator(&p)
+		si := 0
+		for ci := range p.Chains {
+			for li := range p.Chains[ci].Layers {
+				orig := a[ci][li]
+				for j := 0; j < p.NumAccels; j++ {
+					if j == orig {
+						continue
+					}
+					a[ci][li] = j
+					wantOK := full.runBounded(a, math.MaxInt64, math.Inf(1), nil)
+					gotOK := ev.resumeBounded(a, si, ck, math.MaxInt64, math.Inf(1))
+					if !wantOK || !gotOK {
+						t.Fatalf("trial %d site %d: unbounded run aborted (%v %v)", trial, si, wantOK, gotOK)
+					}
+					if ev.makespan != full.makespan ||
+						math.Float64bits(ev.energy) != math.Float64bits(full.energy) ||
+						!reflect.DeepEqual(ev.buf, full.buf) {
+						t.Fatalf("trial %d site %d accel %d: resume (%d %v %v) != full (%d %v %v)",
+							trial, si, j, ev.makespan, ev.energy, ev.buf,
+							full.makespan, full.energy, full.buf)
+					}
+					// Bounded agreement at an aggressive bound pair: the
+					// abort decision must match the full bounded run.
+					mkB := full.makespan // forces an abort in the replayed schedule
+					eB := full.energy * (0.25 + rng.Float64())
+					if got, want := ev.resumeBounded(a, si, ck, mkB, eB), full.runBounded(a, mkB, eB, nil); got != want {
+						t.Fatalf("trial %d site %d accel %d: bounded resume %v != full %v", trial, si, j, got, want)
+					}
+					a[ci][li] = orig
+				}
+				si++
+			}
+		}
+	}
+}
+
+// TestDifferentialCheckpointIncremental pins resumeCheckpointed (the arena
+// update after an applied move) against a from-scratch checkpointed run:
+// after a chain of random single-layer moves, every snapshot in the
+// incrementally maintained arena must behave exactly like a fresh one.
+func TestDifferentialCheckpointIncremental(t *testing.T) {
+	rng := stats.NewRNG(808)
+	for trial := 0; trial < 60; trial++ {
+		p := randomProblem(rng, 1+rng.Intn(3), 7, 2+rng.Intn(3), 1e8)
+		a := make(Assignment, len(p.Chains))
+		for ci, c := range p.Chains {
+			a[ci] = make([]int, len(c.Layers))
+			for li := range c.Layers {
+				a[ci][li] = rng.Intn(p.NumAccels)
+			}
+		}
+		ev := newEvaluator(&p)
+		ck := newCkpts(&p)
+		ev.runCheckpointed(a, ck)
+		for step := 0; step < 5; step++ {
+			// Apply one random move and update the arena incrementally.
+			si := rng.Intn(p.Size())
+			k, ci, li := si, 0, 0
+			for ci = range p.Chains {
+				if k < len(p.Chains[ci].Layers) {
+					li = k
+					break
+				}
+				k -= len(p.Chains[ci].Layers)
+			}
+			a[ci][li] = rng.Intn(p.NumAccels)
+			ev.resumeCheckpointed(a, si, ck)
+
+			fresh := newEvaluator(&p)
+			fck := newCkpts(&p)
+			fresh.runCheckpointed(a, fck)
+			if ev.makespan != fresh.makespan ||
+				math.Float64bits(ev.energy) != math.Float64bits(fresh.energy) ||
+				!reflect.DeepEqual(ev.buf, fresh.buf) {
+				t.Fatalf("trial %d step %d: incremental metrics (%d %v) != fresh (%d %v)",
+					trial, step, ev.makespan, ev.energy, fresh.makespan, fresh.energy)
+			}
+			// Every site's snapshot must replay identically out of both
+			// arenas (this compares the full arena contents behaviorally).
+			probe := newEvaluator(&p)
+			for s2 := 0; s2 < p.Size(); s2++ {
+				if !ck.captured[s2] || !fck.captured[s2] {
+					t.Fatalf("trial %d step %d: site %d missing a snapshot (%v %v)",
+						trial, step, s2, ck.captured[s2], fck.captured[s2])
+				}
+				probe.resumeBounded(a, s2, fck, math.MaxInt64, math.Inf(1))
+				wantMk, wantE := probe.makespan, probe.energy
+				probe.resumeBounded(a, s2, ck, math.MaxInt64, math.Inf(1))
+				if probe.makespan != wantMk || math.Float64bits(probe.energy) != math.Float64bits(wantE) {
+					t.Fatalf("trial %d step %d site %d: incremental snapshot diverged", trial, step, s2)
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialHeuristicNoCheckpoint pins the DisableCheckpoints knob:
+// the full-resimulation path must stay bit-identical to the reference (and
+// hence to the default checkpointed path, which TestDifferentialHeuristic
+// pins).
+func TestDifferentialHeuristicNoCheckpoint(t *testing.T) {
+	rng := stats.NewRNG(909)
+	for trial := 0; trial < 60; trial++ {
+		p := randomProblem(rng, 3, 7, 1+rng.Intn(3), 1e8)
+		p.Tuning.DisableCheckpoints = true
+		got, err := Heuristic(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := referenceHeuristic(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustEqualResults(t, fmt.Sprintf("trial %d", trial), got, want)
+	}
+}
+
+// TestDifferentialBranchAndBound drives the unified B&B (exhaustPre suffix
+// bounds, bounded leaf simulation, shared best-energy bound) against the
+// retained pre-unification solver on random instances. Every search
+// completes within budget, so results must be bit-identical, fallback
+// (infeasible) cases included.
+func TestDifferentialBranchAndBound(t *testing.T) {
+	rng := stats.NewRNG(1010)
+	for trial := 0; trial < 120; trial++ {
+		scale := 1.0
+		if trial%3 == 0 {
+			scale = 1e8
+		}
+		p := randomProblem(rng, 2, 5, 1+rng.Intn(3), scale)
+		if trial%5 == 0 {
+			p.Deadline = 1 // unmeetable: pins the min-makespan fallback path
+		}
+		got, gotComplete, err := BranchAndBound(p, 1<<22)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, wantComplete, err := referenceBranchAndBound(p, 1<<22)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotComplete != wantComplete {
+			t.Fatalf("trial %d: complete %v != reference %v", trial, gotComplete, wantComplete)
+		}
+		mustEqualResults(t, fmt.Sprintf("trial %d", trial), got, want)
+	}
+}
+
+// TestDifferentialBranchAndBoundParallel forces the shared-bound parallel
+// split (threshold 2, four workers) and requires the fold to reproduce the
+// reference solver exactly — the same straddle the exhaustive differential
+// does for Exhaustive.
+func TestDifferentialBranchAndBoundParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parallel enumerations")
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	rng := stats.NewRNG(1111)
+	for trial := 0; trial < 30; trial++ {
+		p := randomProblem(rng, 2, 6, 2+rng.Intn(2), 1e7)
+		if trial%5 == 0 {
+			p.Deadline = 1
+		}
+		p.Tuning = Tuning{ParallelExhaustMin: 2, MaxWorkers: 4}
+		got, gotComplete, err := BranchAndBound(p, 1<<22)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, wantComplete, err := referenceBranchAndBound(p, 1<<22)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !gotComplete || !wantComplete {
+			t.Fatalf("trial %d: search did not complete (%v %v)", trial, gotComplete, wantComplete)
+		}
+		mustEqualResults(t, fmt.Sprintf("trial %d", trial), got, want)
+	}
+}
+
 // TestHeuristicNeverBeatsExhaustive: on every exhaustible instance where both
 // find a feasible schedule, the heuristic's energy must be >= the optimum —
 // anything else means the exact solver is broken.

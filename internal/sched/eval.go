@@ -84,6 +84,10 @@ type evaluator struct {
 	p    *Problem
 	opts [][][]Option // opts[ci][li] aliases Chains[ci].Layers[li].Options
 
+	// siteBase[ci] is the flat chain-major index of (ci, 0): site (ci, li)
+	// has flat index siteBase[ci]+li, matching the move scan's site order.
+	siteBase []int
+
 	next       []int
 	chainReady []int64
 	accelFree  []int64
@@ -98,20 +102,114 @@ func newEvaluator(p *Problem) *evaluator {
 	e := &evaluator{
 		p:          p,
 		opts:       make([][][]Option, len(p.Chains)),
+		siteBase:   make([]int, len(p.Chains)),
 		next:       make([]int, len(p.Chains)),
 		chainReady: make([]int64, len(p.Chains)),
 		accelFree:  make([]int64, p.NumAccels),
 		buf:        make([]int64, p.NumAccels),
 		heap:       make(eventHeap, 0, len(p.Chains)),
 	}
+	base := 0
 	for ci := range p.Chains {
 		rows := make([][]Option, len(p.Chains[ci].Layers))
 		for li := range p.Chains[ci].Layers {
 			rows[li] = p.Chains[ci].Layers[li].Options
 		}
 		e.opts[ci] = rows
+		e.siteBase[ci] = base
+		base += len(rows)
 	}
 	return e
+}
+
+// ckpts is a checkpoint arena: one snapshot of the simulator's full state per
+// layer site, taken by runCheckpointed just before that layer's event is
+// popped for the first time. Everything simulated before that pop is
+// independent of the layer's own assignment, so a single-layer move can
+// resume from the snapshot and replay only the schedule's suffix — the shared
+// prefix is reused across the whole move scan of one refinement round. All
+// per-site storage is flat and reused across rounds; one arena belongs to one
+// evaluator's baseline run at a time.
+type ckpts struct {
+	nc, na   int
+	captured []bool
+	next     []int   // nc per site
+	ready    []int64 // nc per site (single-chain: slot 0 holds t)
+	free     []int64 // na per site
+	buf      []int64 // na per site
+	heap     []event // nc per site
+	heapLen  []int
+	energy   []float64
+	makespan []int64
+	// order[si] is the capture sequence number: ascending order equals
+	// ascending first-pop time in the arena's simulation. It lets
+	// resumeCheckpointed invalidate exactly the snapshots taken at or after
+	// a moved layer's first pop — everything captured earlier stays valid,
+	// because nothing simulated before that pop read the moved assignment.
+	order []int
+	clock int
+}
+
+func newCkpts(p *Problem) *ckpts {
+	n, nc, na := p.Size(), len(p.Chains), p.NumAccels
+	return &ckpts{
+		nc: nc, na: na,
+		captured: make([]bool, n),
+		next:     make([]int, n*nc),
+		ready:    make([]int64, n*nc),
+		free:     make([]int64, n*na),
+		buf:      make([]int64, n*na),
+		heap:     make([]event, n*nc),
+		heapLen:  make([]int, n),
+		energy:   make([]float64, n),
+		makespan: make([]int64, n),
+		order:    make([]int, n),
+	}
+}
+
+func (c *ckpts) reset() {
+	for i := range c.captured {
+		c.captured[i] = false
+	}
+	c.clock = 0
+}
+
+// invalidateFrom drops every snapshot captured at or after site si's — the
+// ones a reassignment of site si can change.
+func (c *ckpts) invalidateFrom(si int) {
+	ord := c.order[si]
+	for i, cap := range c.captured {
+		if cap && c.order[i] >= ord {
+			c.captured[i] = false
+		}
+	}
+}
+
+// capture snapshots the evaluator's live state (plus the running energy and
+// makespan, which the loop keeps in locals) into site si's slot.
+func (c *ckpts) capture(si int, e *evaluator, h eventHeap, energy float64, makespan int64) {
+	copy(c.next[si*c.nc:], e.next)
+	copy(c.ready[si*c.nc:], e.chainReady)
+	copy(c.free[si*c.na:], e.accelFree)
+	copy(c.buf[si*c.na:], e.buf)
+	copy(c.heap[si*c.nc:], h)
+	c.heapLen[si] = len(h)
+	c.energy[si] = energy
+	c.makespan[si] = makespan
+	c.captured[si] = true
+	c.order[si] = c.clock
+	c.clock++
+}
+
+// restore loads site si's snapshot back into the evaluator and returns the
+// heap, energy and makespan to resume the loop with.
+func (c *ckpts) restore(si int, e *evaluator) (eventHeap, float64, int64) {
+	copy(e.next, c.next[si*c.nc:(si+1)*c.nc])
+	copy(e.chainReady, c.ready[si*c.nc:(si+1)*c.nc])
+	copy(e.accelFree, c.free[si*c.na:(si+1)*c.na])
+	copy(e.buf, c.buf[si*c.na:(si+1)*c.na])
+	h := append(e.heap[:0], c.heap[si*c.nc:si*c.nc+c.heapLen[si]]...)
+	return h, c.energy[si], c.makespan[si]
 }
 
 // run simulates the paper's sch() event-driven list schedule of assignment a
@@ -133,8 +231,86 @@ func (e *evaluator) run(a Assignment, placements *[]Placement) {
 // On abort the evaluator's makespan/energy/buf are unspecified.
 func (e *evaluator) runBounded(a Assignment, mkBound int64, eBound float64, placements *[]Placement) bool {
 	if len(e.opts) == 1 {
-		return e.runSingleChain(a[0], mkBound, eBound, placements)
+		return e.runSingleChain(a[0], 0, 0, 0, mkBound, eBound, placements, nil)
 	}
+	h := e.initState()
+	return e.loopBounded(a, h, 0, 0, mkBound, eBound, placements, nil)
+}
+
+// runCheckpointed is a full (unbounded) run that additionally records one
+// checkpoint per layer site into ck. After it returns, resumeBounded can
+// replay any single-layer move from that layer's snapshot.
+func (e *evaluator) runCheckpointed(a Assignment, ck *ckpts) {
+	ck.reset()
+	if len(e.opts) == 1 {
+		e.runSingleChain(a[0], 0, 0, 0, math.MaxInt64, math.Inf(1), nil, ck)
+		return
+	}
+	h := e.initState()
+	e.loopBounded(a, h, 0, 0, math.MaxInt64, math.Inf(1), nil, ck)
+}
+
+// resumeCheckpointed brings an arena captured for a's previous value up to
+// date after the single-layer move at site si was applied to a: snapshots
+// taken before si's first pop are still exact (the prefix never read the
+// moved assignment), so only si's own and every later snapshot are dropped
+// and re-captured by resuming the simulation from si's snapshot. The final
+// makespan/energy/buf left in the evaluator — and every snapshot in the
+// arena — are bit-identical to a fresh runCheckpointed(a, ck). si < 0 (or an
+// empty arena) falls back to the full checkpointed run.
+func (e *evaluator) resumeCheckpointed(a Assignment, si int, ck *ckpts) {
+	if si < 0 || !ck.captured[si] {
+		e.runCheckpointed(a, ck)
+		return
+	}
+	ck.invalidateFrom(si)
+	if len(e.opts) == 1 {
+		for j := range e.buf {
+			e.buf[j] = ck.buf[si*ck.na+j]
+		}
+		e.runSingleChain(a[0], si, ck.makespan[si], ck.energy[si], math.MaxInt64, math.Inf(1), nil, ck)
+		return
+	}
+	h, energy, makespan := ck.restore(si, e)
+	e.loopBounded(a, h, energy, makespan, math.MaxInt64, math.Inf(1), nil, ck)
+}
+
+// resumeBounded replays assignment a from the checkpoint of site si (flat
+// chain-major index), with the same early-abort bounds as runBounded. It is
+// exact for any a that agrees with the checkpointed baseline on every
+// decision taken before site si's first pop — in particular for the move
+// scan's single-layer reassignments of site si itself: the restored state is
+// bit-identical to what a full simulation of a would have reached, and the
+// suffix replays the same code over the same state, so makespan, energy and
+// buffer demand come out bit-identical to runBounded(a, ...).
+func (e *evaluator) resumeBounded(a Assignment, si int, ck *ckpts, mkBound int64, eBound float64) bool {
+	if !ck.captured[si] {
+		// Defensive: a full run captures every site; never reached.
+		return e.runBounded(a, mkBound, eBound, nil)
+	}
+	// The prefix is shared with the baseline, but the bounds still apply to
+	// it: a full bounded run would have aborted at the first prefix finish
+	// time >= mkBound (the checkpointed running makespan is their maximum)
+	// or the first prefix partial energy >= eBound (partial sums of
+	// non-negative terms are non-decreasing, so the checkpointed running
+	// energy is their maximum). Rejecting here is exactly the full run's
+	// abort.
+	if ck.makespan[si] >= mkBound || ck.energy[si] >= eBound {
+		return false
+	}
+	if len(e.opts) == 1 {
+		for j := range e.buf {
+			e.buf[j] = ck.buf[si*ck.na+j]
+		}
+		return e.runSingleChain(a[0], si, ck.makespan[si], ck.energy[si], mkBound, eBound, nil, nil)
+	}
+	h, energy, makespan := ck.restore(si, e)
+	return e.loopBounded(a, h, energy, makespan, mkBound, eBound, nil, nil)
+}
+
+// initState resets the per-run scratch and seeds the ready heap with every
+// chain's head layer.
+func (e *evaluator) initState() eventHeap {
 	for ci := range e.next {
 		e.next[ci] = 0
 		e.chainReady[ci] = 0
@@ -148,10 +324,22 @@ func (e *evaluator) runBounded(a Assignment, mkBound int64, eBound float64, plac
 		// Ascending chain index with equal keys: already heap-ordered.
 		h = append(h, event{start: 0, chain: int32(ci)})
 	}
+	return h
+}
 
-	var energy float64
-	var makespan int64
+// loopBounded drains the ready heap from the evaluator's current state,
+// carrying the running energy/makespan (zero for a fresh run, the snapshot
+// values for a resume). With ck non-nil it captures a checkpoint before each
+// layer's first pop — before, because with a different assignment for that
+// layer even the pop's stale-key decision can change.
+func (e *evaluator) loopBounded(a Assignment, h eventHeap, energy float64, makespan int64, mkBound int64, eBound float64, placements *[]Placement, ck *ckpts) bool {
 	for len(h) > 0 {
+		if ck != nil {
+			ci := int(h[0].chain)
+			if si := e.siteBase[ci] + e.next[ci]; !ck.captured[si] {
+				ck.capture(si, e, h, energy, makespan)
+			}
+		}
 		ev := h.pop()
 		ci := int(ev.chain)
 		li := e.next[ci]
@@ -208,15 +396,29 @@ func (e *evaluator) runBounded(a Assignment, mkBound int64, eBound float64, plac
 // runSingleChain is the degenerate single-DNN case: with one chain there is
 // never contention, every layer starts exactly when its predecessor
 // finishes, and the heap would hold one element — so the simulation is a
-// straight accumulation over the chain.
-func (e *evaluator) runSingleChain(row []int, mkBound int64, eBound float64, placements *[]Placement) bool {
-	for j := range e.buf {
-		e.buf[j] = 0
+// straight accumulation over the chain, starting at layer startLi with the
+// running finish time t and energy sum carried in (both zero for a fresh
+// run; the snapshot values for a resume, with e.buf restored by the caller).
+// A non-nil ck records the per-layer snapshots of a checkpointed full run.
+func (e *evaluator) runSingleChain(row []int, startLi int, t int64, energy float64, mkBound int64, eBound float64, placements *[]Placement, ck *ckpts) bool {
+	if startLi == 0 {
+		for j := range e.buf {
+			e.buf[j] = 0
+		}
 	}
 	opts := e.opts[0]
-	var t int64
-	var energy float64
-	for li, j := range row {
+	for li := startLi; li < len(row); li++ {
+		j := row[li]
+		if ck != nil && !ck.captured[li] {
+			// Single-chain snapshot: the running totals plus the buffer
+			// maxima; flat site index == layer index == pop order.
+			copy(ck.buf[li*ck.na:], e.buf)
+			ck.energy[li] = energy
+			ck.makespan[li] = t
+			ck.captured[li] = true
+			ck.order[li] = ck.clock
+			ck.clock++
+		}
 		opt := &opts[li][j]
 		finish := t + opt.Cycles
 		if finish >= mkBound {

@@ -17,6 +17,34 @@
 // admissible energy/makespan bounds, and large scans fan out across a bounded
 // worker pool with a deterministic reduction order. Results are bit-identical
 // to the pre-rewrite solver (see differential_test.go).
+//
+// # Checkpointed move scans
+//
+// The heuristic's move scan additionally runs on a checkpointed simulator
+// (eval.go). The lifecycle of one refinement round:
+//
+//  1. The round's baseline simulation of the current assignment records one
+//     snapshot of the full simulator state (ready heap, per-chain/-accel
+//     clocks, buffer maxima, running energy/makespan) per layer site, taken
+//     just before that layer's event is popped for the first time — at that
+//     point nothing simulated so far has read the layer's own assignment.
+//  2. Each candidate move of layer L restores L's snapshot and replays only
+//     the schedule's suffix under the scan's early-abort bounds; the shared
+//     prefix is reused across the entire scan. Parallel scan workers carry
+//     their own arena, rebuilt (incrementally) from their own baseline run.
+//  3. Applying the round's winning move updates the arena in place:
+//     snapshots captured before the moved layer's first pop stay valid, the
+//     rest are re-captured by resuming from the moved layer's snapshot.
+//
+// The resumed replay performs the exact floating-point operations of a full
+// simulation in the same order, so results — and the whole refinement
+// trajectory — stay bit-identical (pinned by differential_test.go);
+// Tuning.DisableCheckpoints selects full per-move re-simulation.
+//
+// BranchAndBound shares the exhaustive enumeration's machinery (suffix
+// min-energy/min-cycle bounds, bounded leaf simulation, shared best-energy
+// bound, parallel prefix split) over its energy-spread branch order, with a
+// node budget shared across workers.
 package sched
 
 import (
@@ -61,19 +89,26 @@ type Problem struct {
 	Tuning Tuning
 }
 
-// Tuning exposes the solver's parallel-scan thresholds, which were tuned on a
-// single-core container (see ROADMAP). Each field's zero value selects the
-// package default; results are bit-identical for any setting because every
-// parallel scan reduces in a deterministic order.
+// Tuning exposes the solver's parallel-scan thresholds and the move-scan
+// simulation strategy. Each field's zero value selects the package default;
+// results are bit-identical for any setting because every parallel scan
+// reduces in a deterministic order and the checkpointed simulator replays
+// the exact floating-point operations of a full simulation.
 type Tuning struct {
 	// ParallelMoveMin is the minimum number of candidate moves per
 	// refinement round before Heuristic parallelizes the move scan.
 	ParallelMoveMin int
 	// ParallelExhaustMin is the minimum enumeration size before Exhaustive
-	// splits the assignment space across workers.
+	// (and BranchAndBound) split the assignment space across workers.
 	ParallelExhaustMin int
 	// MaxWorkers bounds the worker pool of one solve.
 	MaxWorkers int
+	// DisableCheckpoints turns off the checkpointed move-scan simulator, so
+	// every candidate move replays the whole schedule instead of resuming
+	// from the moved layer's snapshot. The checkpointed path is bit-identical
+	// (enforced by differential_test.go) and ~2x faster per round; this knob
+	// exists for benchmarks, regression triage and the CI before/after gate.
+	DisableCheckpoints bool
 }
 
 func (t Tuning) moveMin() int {
@@ -207,8 +242,16 @@ func minLatencyAssignment(p Problem) Assignment {
 // enough to amortize goroutine startup fan out.
 const (
 	// parallelMoveMin is the default minimum number of candidate moves per
-	// refinement round before Heuristic parallelizes the move scan.
-	parallelMoveMin = 128
+	// refinement round before Heuristic parallelizes the move scan. Retuned
+	// from the original single-core value of 128: with the checkpointed
+	// simulator a candidate move costs roughly half a simulation, while a
+	// parallel round costs each worker one goroutine spawn plus one
+	// checkpointed baseline run (~one full simulation). The break-even on the
+	// bench instances is ~3 full simulations of margin per worker, which a
+	// 48-move round clears with the default 4-8 worker pool — so the medium
+	// benchmark instance (72 moves/round) now fans out on multi-core hosts
+	// instead of staying sequential.
+	parallelMoveMin = 48
 	// parallelExhaustMin is the default minimum enumeration size before
 	// Exhaustive splits the assignment space across workers.
 	parallelExhaustMin = 1 << 14
@@ -257,46 +300,84 @@ type move struct {
 	ratio     float64
 }
 
-// moveScratch is one scan worker's private state.
+// moveScratch is one scan worker's private state: a scratch assignment, an
+// evaluator, and (when checkpointing is on) the worker's own checkpoint
+// arena, rebuilt from the round's baseline at the start of its chunk.
 type moveScratch struct {
-	a  Assignment
-	ev *evaluator
+	a   Assignment
+	ev  *evaluator
+	ck  *ckpts
+	gen int // move generation the arena reflects (-1: never built)
 }
 
 // hsolver carries the scratch state of one Heuristic solve.
 type hsolver struct {
 	p     *Problem
+	ctx   context.Context
 	a     Assignment
 	ev    *evaluator
+	ck    *ckpts // non-nil when the checkpointed move scan is enabled
 	sites []site
 	curMk int64
 	curE  float64
+	// bufDemand caches the last refresh's buffer demand, so result() can
+	// snapshot without re-simulating (scans leave the evaluator holding the
+	// last candidate's state, not the current assignment's).
+	bufDemand []int64
+
+	// gen counts applied moves and lastMove is the flat site index of the
+	// latest one (-1 before any): together they let refresh and the scan
+	// workers update their checkpoint arenas incrementally instead of
+	// re-simulating the whole assignment each round.
+	gen      int
+	lastMove int
+
+	// aborted latches a mid-scan context cancellation; every scan worker
+	// polls it (and ctx) per site, so a cancelled solve unwinds promptly
+	// with the partial best instead of finishing the round.
+	aborted atomic.Bool
 
 	workers []*moveScratch // lazily built for parallel scans
 	chunks  []move
 }
 
-// refresh re-simulates the current assignment and caches its metrics.
+// refresh re-simulates the current assignment and caches its metrics; with
+// checkpointing on, the same single simulation also records the per-site
+// snapshots the round's sequential move scan resumes from, and after the
+// first round it resumes from the applied move's own snapshot instead of
+// replaying the whole schedule.
 func (s *hsolver) refresh() {
-	s.ev.run(s.a, nil)
+	if s.ck != nil {
+		s.ev.resumeCheckpointed(s.a, s.lastMove, s.ck)
+	} else {
+		s.ev.run(s.a, nil)
+	}
 	s.curMk = s.ev.makespan
 	s.curE = s.ev.energy
+	s.bufDemand = append(s.bufDemand[:0], s.ev.buf...)
 }
 
-// result snapshots the current assignment. The evaluator is re-run first:
-// after a scan it holds the last candidate's state, not the current one.
+// result snapshots the current assignment from the metrics the last refresh
+// cached; scans since then only touched candidate state.
 func (s *hsolver) result() Result {
-	s.ev.run(s.a, nil)
-	return s.ev.result(s.a)
+	return Result{
+		Assign:       s.a.clone(),
+		Makespan:     s.curMk,
+		EnergyNJ:     s.curE,
+		BufferDemand: append([]int64(nil), s.bufDemand...),
+		Feasible:     s.curMk <= s.p.Deadline,
+	}
 }
 
 // scanRange evaluates every single-layer move whose site index lies in
 // [lo, hi) against the current schedule, using the given scratch assignment
-// (a copy of s.a that is mutated and restored in place) and evaluator. It
-// returns the range's best move under the phase's decision rule, with ties
-// resolved to the first move in (chain, layer, accelerator) scan order —
-// exactly the original solver's scan semantics.
-func (s *hsolver) scanRange(phase1 bool, lo, hi int, a Assignment, ev *evaluator) move {
+// (a copy of s.a that is mutated and restored in place), evaluator and
+// checkpoint arena (nil for full re-simulation). It returns the range's best
+// move under the phase's decision rule, with ties resolved to the first move
+// in (chain, layer, accelerator) scan order — exactly the original solver's
+// scan semantics. The scan polls ctx once per site; on cancellation it
+// latches s.aborted and returns the partial best of its range.
+func (s *hsolver) scanRange(phase1 bool, lo, hi int, a Assignment, ev *evaluator, ck *ckpts) move {
 	p := s.p
 	best := move{mk: s.curMk} // phase 1: only strictly smaller makespans qualify
 	// O(1) screen threshold: moves whose order-independent option delta
@@ -308,6 +389,13 @@ func (s *hsolver) scanRange(phase1 bool, lo, hi int, a Assignment, ev *evaluator
 	// bounds are exact rejections, not approximations (see runBounded).
 	deadlineBound := incClamp(p.Deadline)
 	for si := lo; si < hi; si++ {
+		if s.aborted.Load() {
+			return best
+		}
+		if s.ctx.Err() != nil {
+			s.aborted.Store(true)
+			return best
+		}
 		ci, li := s.sites[si].ci, s.sites[si].li
 		row := a[ci]
 		orig := row[li]
@@ -318,7 +406,12 @@ func (s *hsolver) scanRange(phase1 bool, lo, hi int, a Assignment, ev *evaluator
 			}
 			if phase1 {
 				row[li] = j
-				ok := ev.runBounded(a, best.mk, math.Inf(1), nil)
+				var ok bool
+				if ck != nil {
+					ok = ev.resumeBounded(a, si, ck, best.mk, math.Inf(1))
+				} else {
+					ok = ev.runBounded(a, best.mk, math.Inf(1), nil)
+				}
 				row[li] = orig
 				if ok && ev.makespan < best.mk {
 					best = move{ok: true, ci: ci, li: li, j: j, mk: ev.makespan}
@@ -329,7 +422,12 @@ func (s *hsolver) scanRange(phase1 bool, lo, hi int, a Assignment, ev *evaluator
 				continue
 			}
 			row[li] = j
-			ok := ev.runBounded(a, deadlineBound, s.curE, nil)
+			var ok bool
+			if ck != nil {
+				ok = ev.resumeBounded(a, si, ck, deadlineBound, s.curE)
+			} else {
+				ok = ev.runBounded(a, deadlineBound, s.curE, nil)
+			}
 			row[li] = orig
 			if !ok || ev.makespan > p.Deadline {
 				continue
@@ -363,17 +461,24 @@ func incClamp(x int64) int64 {
 
 // scan finds the best move of one refinement round, fanning out across
 // workers when the scan is large enough. The chunk reduction folds in site
-// order, so the selected move is identical for any worker count.
+// order, so the selected move is identical for any worker count. With
+// checkpointing on, each worker re-derives the round's checkpoint arena from
+// its own baseline simulation of the current assignment — one full run per
+// worker per round, amortized across its chunk of resumed moves.
 func (s *hsolver) scan(phase1 bool) move {
 	nSites := len(s.sites)
 	nw := solverWorkers(nSites, s.p.Tuning.maxWorkers())
 	if nSites*(s.p.NumAccels-1) < s.p.Tuning.moveMin() || nw < 2 {
-		return s.scanRange(phase1, 0, nSites, s.a, s.ev)
+		return s.scanRange(phase1, 0, nSites, s.a, s.ev, s.ck)
 	}
 	if s.workers == nil {
 		s.workers = make([]*moveScratch, nw)
 		for w := range s.workers {
-			s.workers[w] = &moveScratch{a: s.a.clone(), ev: newEvaluator(s.p)}
+			ws := &moveScratch{a: s.a.clone(), ev: newEvaluator(s.p), gen: -1}
+			if s.ck != nil {
+				ws.ck = newCkpts(s.p)
+			}
+			s.workers[w] = ws
 		}
 		s.chunks = make([]move, nw)
 	}
@@ -394,7 +499,19 @@ func (s *hsolver) scan(phase1 bool) move {
 			defer wg.Done()
 			ws := s.workers[w]
 			ws.a.copyFrom(s.a)
-			s.chunks[w] = s.scanRange(phase1, lo, hi, ws.a, ws.ev)
+			if ws.ck != nil {
+				switch {
+				case ws.gen == s.gen:
+					// Arena already reflects s.a (round without a move).
+				case ws.gen == s.gen-1 && s.lastMove >= 0:
+					// Exactly one move behind: reuse the shared prefix.
+					ws.ev.resumeCheckpointed(ws.a, s.lastMove, ws.ck)
+				default:
+					ws.ev.runCheckpointed(ws.a, ws.ck)
+				}
+				ws.gen = s.gen
+			}
+			s.chunks[w] = s.scanRange(phase1, lo, hi, ws.a, ws.ev, ws.ck)
 		}(w, lo, hi)
 	}
 	wg.Wait()
@@ -421,9 +538,15 @@ func Heuristic(p Problem) (Result, error) {
 	return HeuristicCtx(context.Background(), p)
 }
 
-// HeuristicCtx is Heuristic with cooperative cancellation: the solver checks
-// ctx between refinement rounds and returns ctx's error once it is done.
-// Uncancelled solves are bit-identical to Heuristic.
+// HeuristicCtx is Heuristic with cooperative cancellation: the solver polls
+// ctx between refinement rounds and once per site inside every move scan
+// (parallel scan workers included). Once ctx is done it stops promptly and
+// returns the best assignment refined so far — a valid, fully evaluated
+// partial result — together with ctx's error; a cancellation before any
+// refinement started returns the zero Result. Each call builds its own
+// solver state and checkpoint arenas, so an aborted solve can never leak
+// stale checkpoints into a later call. Uncancelled solves are bit-identical
+// to Heuristic.
 func HeuristicCtx(ctx context.Context, p Problem) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err
@@ -431,26 +554,37 @@ func HeuristicCtx(ctx context.Context, p Problem) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
-	s := &hsolver{p: &p, ev: newEvaluator(&p), a: minLatencyAssignment(p)}
+	s := &hsolver{p: &p, ctx: ctx, ev: newEvaluator(&p), a: minLatencyAssignment(p), lastMove: -1}
+	if !p.Tuning.DisableCheckpoints {
+		s.ck = newCkpts(&p)
+	}
 	for ci, c := range p.Chains {
 		for li := range c.Layers {
 			s.sites = append(s.sites, site{ci, li})
 		}
 	}
 	s.refresh()
+	apply := func(m move) {
+		s.a[m.ci][m.li] = m.j
+		s.lastMove = s.ev.siteBase[m.ci] + m.li
+		s.gen++
+		s.refresh()
+	}
 
 	// Phase 1: if infeasible, try to shorten the makespan by moving layers
 	// off the critical (busiest) accelerator.
 	for s.curMk > p.Deadline {
 		if err := ctx.Err(); err != nil {
-			return Result{}, err
+			return s.result(), err
 		}
 		m := s.scan(true)
+		if s.aborted.Load() {
+			return s.result(), ctx.Err()
+		}
 		if !m.ok {
 			break
 		}
-		s.a[m.ci][m.li] = m.j
-		s.refresh()
+		apply(m)
 	}
 	if s.curMk > p.Deadline {
 		return s.result(), nil
@@ -459,14 +593,16 @@ func HeuristicCtx(ctx context.Context, p Problem) (Result, error) {
 	// Phase 2: ratio-greedy energy refinement under the deadline.
 	for {
 		if err := ctx.Err(); err != nil {
-			return Result{}, err
+			return s.result(), err
 		}
 		m := s.scan(false)
+		if s.aborted.Load() {
+			return s.result(), ctx.Err()
+		}
 		if !m.ok {
 			break
 		}
-		s.a[m.ci][m.li] = m.j
-		s.refresh()
+		apply(m)
 	}
 	return s.result(), nil
 }
@@ -476,9 +612,12 @@ func HeuristicCtx(ctx context.Context, p Problem) (Result, error) {
 const MaxExhaustiveSize = 1 << 20
 
 // exhaustPre holds the per-position precomputation shared by every
-// enumeration worker: the (chain, layer) of each flat position and the
+// enumeration worker: the (chain, layer) of each branch position and the
 // admissible remainder bounds (minimum energy / per-chain minimum cycles
-// over all positions below k).
+// over all positions below k). Positions are branched from n-1 down, so
+// position order determines both the enumeration order of the leaves and
+// which layers the suffix bounds cover; Exhaustive uses the chain-major flat
+// order, BranchAndBound its spread-sorted branch order.
 type exhaustPre struct {
 	n       int
 	chainOf []int
@@ -492,10 +631,27 @@ type exhaustPre struct {
 
 func newExhaustPre(p *Problem) *exhaustPre {
 	n := p.Size()
+	chainOf := make([]int, n)
+	layerOf := make([]int, n)
+	k := 0
+	for ci, c := range p.Chains {
+		for li := range c.Layers {
+			chainOf[k] = ci
+			layerOf[k] = li
+			k++
+		}
+	}
+	return newExhaustPreFrom(p, chainOf, layerOf)
+}
+
+// newExhaustPreFrom builds the suffix bounds for an arbitrary position
+// permutation (chainOf[k], layerOf[k] is the layer branched at position k).
+func newExhaustPreFrom(p *Problem, chainOf, layerOf []int) *exhaustPre {
+	n := len(chainOf)
 	pre := &exhaustPre{
 		n:       n,
-		chainOf: make([]int, n),
-		layerOf: make([]int, n),
+		chainOf: chainOf,
+		layerOf: layerOf,
 		sufMinE: make([]float64, n+1),
 		chainRem: func() [][]int64 {
 			m := make([][]int64, n+1)
@@ -505,14 +661,6 @@ func newExhaustPre(p *Problem) *exhaustPre {
 			}
 			return m
 		}(),
-	}
-	k := 0
-	for ci, c := range p.Chains {
-		for li := range c.Layers {
-			pre.chainOf[k] = ci
-			pre.layerOf[k] = li
-			k++
-		}
 	}
 	for k := 0; k < n; k++ {
 		opts := p.Chains[pre.chainOf[k]].Layers[pre.layerOf[k]].Options
@@ -531,6 +679,37 @@ func newExhaustPre(p *Problem) *exhaustPre {
 		pre.chainRem[k+1][pre.chainOf[k]] += minC
 	}
 	return pre
+}
+
+// nodeBudget is the shared node allowance of one budgeted (BranchAndBound)
+// search. Workers claim allowance in chunks, so the total nodes explored
+// never exceed the budget for any worker count; hit latches the first failed
+// claim — the search wanted more nodes than the budget allowed.
+type nodeBudget struct {
+	remaining atomic.Int64
+	hit       atomic.Bool
+}
+
+func newNodeBudget(n int64) *nodeBudget {
+	b := &nodeBudget{}
+	b.remaining.Store(n)
+	return b
+}
+
+func (b *nodeBudget) claim(n int64) int64 {
+	for {
+		r := b.remaining.Load()
+		if r <= 0 {
+			b.hit.Store(true)
+			return 0
+		}
+		if n > r {
+			n = r
+		}
+		if b.remaining.CompareAndSwap(r, r-n) {
+			return n
+		}
+	}
 }
 
 // exhaustShared is the cross-worker pruning state: whether any feasible leaf
@@ -589,6 +768,14 @@ type exhaustState struct {
 	// polled and aborted is latched, unwinding the recursion promptly.
 	nodes   int
 	aborted bool
+
+	// budget, when non-nil, bounds the dfs entries across every worker of
+	// the search (BranchAndBound); quota is this worker's locally claimed
+	// allowance and budgetHit latches exhaustion, unwinding the recursion.
+	budget     *nodeBudget
+	quota      int64
+	claimChunk int64
+	budgetHit  bool
 }
 
 func newExhaustState(ctx context.Context, p *Problem, pre *exhaustPre, shared *exhaustShared) *exhaustState {
@@ -669,7 +856,10 @@ func (s *exhaustState) leaf() {
 //   - before one exists, subtrees that are provably infeasible and cannot
 //     improve the running minimum-makespan fallback (integer-exact).
 func (s *exhaustState) dfs(pos int, eSoFar float64) {
-	if s.aborted {
+	if s.aborted || s.budgetHit {
+		return
+	}
+	if s.budget != nil && !s.takeNode() {
 		return
 	}
 	s.nodes++
@@ -683,7 +873,8 @@ func (s *exhaustState) dfs(pos int, eSoFar float64) {
 	}
 	pre := s.pre
 	ci := pre.chainOf[pos]
-	opts := s.ev.opts[ci][pre.layerOf[pos]]
+	li := pre.layerOf[pos]
+	opts := s.ev.opts[ci][li]
 	rem := pre.chainRem[pos]
 	for j := range opts {
 		o := &opts[j]
@@ -701,13 +892,28 @@ func (s *exhaustState) dfs(pos int, eSoFar float64) {
 		} else if lb > s.p.Deadline && s.have && lb >= s.best.Makespan {
 			continue
 		}
-		s.flat[pos] = j
+		s.a[ci][li] = j
 		s.chainLoad[ci] += o.Cycles
 		s.accelLoad[j] += o.Cycles
 		s.dfs(pos-1, eSoFar+o.EnergyNJ)
 		s.accelLoad[j] -= o.Cycles
 		s.chainLoad[ci] -= o.Cycles
 	}
+}
+
+// takeNode consumes one node of the shared budget, claiming allowance in
+// chunks to keep the shared counter off the hot path; false latches
+// budgetHit.
+func (s *exhaustState) takeNode() bool {
+	if s.quota == 0 {
+		s.quota = s.budget.claim(s.claimChunk)
+		if s.quota == 0 {
+			s.budgetHit = true
+			return false
+		}
+	}
+	s.quota--
+	return true
 }
 
 // Exhaustive enumerates every assignment and returns the minimum-energy
@@ -742,7 +948,7 @@ func ExhaustiveCtx(ctx context.Context, p Problem) (Result, error) {
 	}
 	pre := newExhaustPre(&p)
 	if nw := solverWorkers(total, p.Tuning.maxWorkers()); total >= p.Tuning.exhaustMin() && nw >= 2 {
-		res, err := exhaustParallel(ctx, &p, pre, nw)
+		res, _, err := exhaustParallel(ctx, &p, pre, nw, nil)
 		if err != nil {
 			return Result{}, err
 		}
@@ -758,10 +964,13 @@ func ExhaustiveCtx(ctx context.Context, p Problem) (Result, error) {
 
 // exhaustParallel splits the enumeration over the top assignment digits and
 // folds the per-prefix results in prefix (= enumeration) order, reproducing
-// the sequential running-minimum selection exactly. On cancellation every
-// worker stops claiming prefixes, unwinds, and the call returns ctx's error
-// with no goroutines left behind.
-func exhaustParallel(ctx context.Context, p *Problem, pre *exhaustPre, nw int) (Result, error) {
+// the sequential running-minimum selection exactly. A non-nil budget bounds
+// the dfs nodes across all workers (BranchAndBound); once it is exhausted the
+// workers record whatever their prefixes found so far and unwind. On
+// cancellation every worker stops claiming prefixes, unwinds, and the call
+// returns ctx's error with no goroutines left behind. The second return
+// reports whether any leaf was evaluated.
+func exhaustParallel(ctx context.Context, p *Problem, pre *exhaustPre, nw int, budget *nodeBudget) (Result, bool, error) {
 	k := p.NumAccels
 	pd, prefixes := 0, 1
 	for prefixes < 4*nw && pd < pre.n {
@@ -783,6 +992,8 @@ func exhaustParallel(ctx context.Context, p *Problem, pre *exhaustPre, nw int) (
 		go func() {
 			defer wg.Done()
 			st := newExhaustState(ctx, p, pre, shared)
+			st.budget = budget
+			st.claimChunk = parallelBudgetChunk
 			for {
 				pi := int(next.Add(1) - 1)
 				if pi >= prefixes {
@@ -792,13 +1003,16 @@ func exhaustParallel(ctx context.Context, p *Problem, pre *exhaustPre, nw int) (
 					aborted.Store(true)
 					return
 				}
+				if st.budgetHit {
+					return
+				}
 				st.reset()
 				eSoFar := 0.0
 				for t, v := 0, pi; t < pd; t, v = t+1, v/k {
 					pos := pre.n - pd + t
 					j := v % k
 					o := &st.ev.opts[pre.chainOf[pos]][pre.layerOf[pos]][j]
-					st.flat[pos] = j
+					st.a[pre.chainOf[pos]][pre.layerOf[pos]] = j
 					st.chainLoad[pre.chainOf[pos]] += o.Cycles
 					st.accelLoad[j] += o.Cycles
 					eSoFar += o.EnergyNJ
@@ -808,13 +1022,15 @@ func exhaustParallel(ctx context.Context, p *Problem, pre *exhaustPre, nw int) (
 					aborted.Store(true)
 					return
 				}
+				// Recorded even when the budget ran out mid-prefix: the
+				// truncated search still returns its best leaf found.
 				sums[pi] = summary{best: st.best, haveFeasible: st.haveFeasible, have: st.have}
 			}
 		}()
 	}
 	wg.Wait()
 	if aborted.Load() {
-		return Result{}, ctx.Err()
+		return Result{}, false, ctx.Err()
 	}
 
 	var best Result
@@ -832,8 +1048,14 @@ func exhaustParallel(ctx context.Context, p *Problem, pre *exhaustPre, nw int) (
 		}
 		have = true
 	}
-	return best, nil
+	return best, have, nil
 }
+
+// parallelBudgetChunk is the node allowance a budgeted parallel worker claims
+// from the shared budget at a time: large enough to keep the shared atomic
+// off the per-node path, small enough that the budget still bounds the total
+// within a fraction of a percent of typical nodeBudget values.
+const parallelBudgetChunk = 1 << 10
 
 // HAP is the paper's solver function re = HAP(D, AIC, LS): it returns the
 // minimum energy achievable under deadline p.Deadline, +Inf when no feasible

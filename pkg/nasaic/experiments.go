@@ -35,6 +35,9 @@ type Budget struct {
 	SharedMemo bool `json:"shared_memo,omitempty"`
 	// SequentialController disables the controller's batched fast path.
 	SequentialController bool `json:"sequential_controller,omitempty"`
+	// NoSolverCheckpoint disables the HAP heuristic's checkpointed
+	// move-scan simulator.
+	NoSolverCheckpoint bool `json:"no_solver_checkpoint,omitempty"`
 }
 
 // QuickBudget is the reduced configuration used by tests and benchmarks;
@@ -62,6 +65,7 @@ func (b Budget) internal() experiments.Budget {
 		DisableLayerMemo:     b.DisableLayerMemo,
 		SharedMemo:           b.SharedMemo,
 		SequentialController: b.SequentialController,
+		NoSolverCheckpoint:   b.NoSolverCheckpoint,
 	}
 }
 

@@ -124,6 +124,15 @@ func WithSolverTuning(moveScanMin, exhaustSplitMin, maxWorkers int) Option {
 	}
 }
 
+// WithSolverCheckpoints toggles the HAP heuristic's checkpointed move-scan
+// simulator, which resumes each candidate move from the moved layer's
+// snapshot instead of replaying the whole schedule (default on). The
+// checkpointed path is bit-identical to full re-simulation; only wall clock
+// changes.
+func WithSolverCheckpoints(on bool) Option {
+	return func(s *settings) { s.cfg.SolverNoCheckpoint = !on }
+}
+
 // WithEventHandler subscribes fn to per-episode progress events. Handlers
 // run synchronously on the exploration goroutine in subscription order; a
 // slow handler slows the run down but never changes its results.
