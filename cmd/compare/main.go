@@ -31,6 +31,7 @@ func main() {
 		sharedmemo = flag.Bool("sharedmemo", false, "share the layer-cost memo process-wide and the accuracy memo across the table's searches (warm-start; results are identical)")
 		batchrl    = flag.Bool("batchrl", true, "use the controller's batched policy-gradient fast path (results are identical either way)")
 		solverckpt = flag.Bool("solverckpt", true, "use the HAP heuristic's checkpointed move-scan simulator (results are identical either way)")
+		cachedir   = flag.String("cachedir", "", "directory for the persistent cache warm tier; a second run pointed here starts with warm memos (results are identical either way)")
 	)
 	flag.Parse()
 
@@ -46,6 +47,7 @@ func main() {
 	b.SharedMemo = *sharedmemo
 	b.SequentialController = !*batchrl
 	b.NoSolverCheckpoint = !*solverckpt
+	b.CacheDir = *cachedir
 
 	printStats := func(stats nasaic.ExperimentStats) {
 		fmt.Printf("\nNASAIC evaluator work: %d hardware evaluations for %d requests (%.1f%% cache hits, %d in-batch dedups), %d trainings\n",

@@ -36,6 +36,7 @@ func main() {
 		sharedmemo = flag.Bool("sharedmemo", false, "use the process-wide layer-cost memo instead of a per-run one (results are identical either way)")
 		batchrl    = flag.Bool("batchrl", true, "use the controller's batched policy-gradient fast path (results are identical either way)")
 		solverckpt = flag.Bool("solverckpt", true, "use the HAP heuristic's checkpointed move-scan simulator (results are identical either way)")
+		cachedir   = flag.String("cachedir", "", "directory for the persistent cache warm tier; a second run pointed here starts with warm memos (results are identical either way)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the search to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -71,6 +72,7 @@ func main() {
 		nasaic.WithProcessSharedLayerMemo(*sharedmemo),
 		nasaic.WithBatchedController(*batchrl),
 		nasaic.WithSolverCheckpoints(*solverckpt),
+		nasaic.WithCacheDir(*cachedir),
 	}
 	if *progress {
 		opts = append(opts, nasaic.WithEventHandler(func(e nasaic.Event) {

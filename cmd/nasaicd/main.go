@@ -5,7 +5,13 @@
 //
 // Usage:
 //
-//	nasaicd [-addr :8080] [-max-jobs 2] [-history 64] [-sharedmemo]
+//	nasaicd [-addr :8080] [-max-jobs 2] [-max-pending 0] [-history 64]
+//	        [-sharedmemo] [-cachedir DIR] [-cacheflush 5m]
+//
+// With -cachedir the shared evaluation cache and memos persist across
+// restarts: the warm tier is loaded at startup, flushed every -cacheflush
+// interval, and flushed once more at shutdown. -max-pending bounds the jobs
+// queued for a concurrency slot; excess submissions get HTTP 429.
 //
 // API:
 //
@@ -35,15 +41,20 @@ func main() {
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
 		maxJobs    = flag.Int("max-jobs", 2, "jobs exploring concurrently; further submissions queue")
+		maxPending = flag.Int("max-pending", 0, "jobs queued for a slot before submissions are rejected with 429; 0 = unbounded")
 		history    = flag.Int("history", 64, "finished jobs retained for inspection")
 		sharedmemo = flag.Bool("sharedmemo", true, "share the evaluation cache and memos across jobs (results are identical either way)")
+		cachedir   = flag.String("cachedir", "", "directory for the persistent cache warm tier, loaded at startup and flushed periodically and at shutdown (results are identical either way)")
+		cacheflush = flag.Duration("cacheflush", 5*time.Minute, "interval between periodic warm-tier flushes (with -cachedir)")
 	)
 	flag.Parse()
 
 	m := jobs.NewManager(jobs.Options{
 		MaxConcurrent: *maxJobs,
+		MaxPending:    *maxPending,
 		MaxHistory:    *history,
 		ShareMemos:    *sharedmemo,
+		CacheDir:      *cachedir,
 	})
 	srv := &http.Server{
 		Addr:    *addr,
@@ -56,9 +67,31 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Periodically snapshot the warm tier so a crash loses at most one flush
+	// interval of memoized work; Close flushes once more at shutdown.
+	if *cachedir != "" && *cacheflush > 0 {
+		go func() {
+			t := time.NewTicker(*cacheflush)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if err := m.FlushCaches(); err != nil {
+						fmt.Fprintf(os.Stderr, "nasaicd: warm-tier flush: %v\n", err)
+					}
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Printf("nasaicd listening on %s (max-jobs=%d, sharedmemo=%v)\n", *addr, *maxJobs, *sharedmemo)
+	if *cachedir != "" {
+		fmt.Printf("nasaicd: persistent warm tier at %s (flush every %s)\n", *cachedir, *cacheflush)
+	}
 
 	select {
 	case <-ctx.Done():

@@ -1,0 +1,152 @@
+package cachefile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc64"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, Name("layercost", "cfgA"))
+	payload := []byte("some gob bytes \x00\x01\x02")
+	if err := WriteFile(path, "layercost", "cfgA", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path, "layercost", "cfgA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("payload round trip: got %q, want %q", got, payload)
+	}
+}
+
+func TestEmptySections(t *testing.T) {
+	k, c, p, err := Decode(Encode("", "", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != "" || c != "" || len(p) != 0 {
+		t.Errorf("empty round trip: got (%q,%q,%d bytes)", k, c, len(p))
+	}
+}
+
+func TestWriteCreatesDirectory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nested", "deeper", "x.cache")
+	if err := WriteFile(path, "k", "c", []byte("p")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path, "k", "c"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	_, err := ReadFile(filepath.Join(t.TempDir(), "absent.cache"), "k", "c")
+	if !os.IsNotExist(err) {
+		t.Errorf("missing file: got %v, want IsNotExist", err)
+	}
+}
+
+// writeRaw writes arbitrary bytes under the final name, bypassing WriteFile's
+// envelope, to simulate torn and tampered files.
+func writeRaw(t *testing.T, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "tampered.cache")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestTruncatedFile(t *testing.T) {
+	full := Encode("k", "c", bytes.Repeat([]byte("payload"), 64))
+	for _, n := range []int{0, 1, 7, 8, 20, len(full) / 2, len(full) - 1} {
+		path := writeRaw(t, full[:n])
+		if _, err := ReadFile(path, "k", "c"); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("truncated to %d bytes: got %v, want ErrCorrupt", n, err)
+		}
+	}
+}
+
+func TestFlippedByte(t *testing.T) {
+	full := Encode("k", "c", bytes.Repeat([]byte("payload"), 8))
+	// Flip one byte at every offset: header, sections, payload and checksum
+	// corruption must all be detected.
+	for i := range full {
+		tampered := append([]byte(nil), full...)
+		tampered[i] ^= 0x40
+		path := writeRaw(t, tampered)
+		if _, err := ReadFile(path, "k", "c"); err == nil {
+			t.Errorf("flipped byte at offset %d went undetected", i)
+		}
+	}
+}
+
+func TestVersionBump(t *testing.T) {
+	full := Encode("k", "c", []byte("payload"))
+	// Rewrite the version field and re-checksum, simulating a file from a
+	// future (or past) format generation that is otherwise intact.
+	binary.BigEndian.PutUint32(full[8:12], Version+1)
+	body := full[:len(full)-8]
+	binary.BigEndian.PutUint64(full[len(full)-8:], crc64.Checksum(body, crcTable))
+	path := writeRaw(t, full)
+	if _, err := ReadFile(path, "k", "c"); !errors.Is(err, ErrVersion) {
+		t.Errorf("version bump: got %v, want ErrVersion", err)
+	}
+}
+
+func TestKindMismatch(t *testing.T) {
+	path := writeRaw(t, Encode("evalcache", "c", []byte("p")))
+	if _, err := ReadFile(path, "layercost", "c"); !errors.Is(err, ErrKind) {
+		t.Errorf("kind mismatch: got %v, want ErrKind", err)
+	}
+}
+
+func TestConfigMismatch(t *testing.T) {
+	path := writeRaw(t, Encode("k", "calibration-A", []byte("p")))
+	if _, err := ReadFile(path, "k", "calibration-B"); !errors.Is(err, ErrConfig) {
+		t.Errorf("config mismatch: got %v, want ErrConfig", err)
+	}
+}
+
+func TestAtomicReplace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.cache")
+	if err := WriteFile(path, "k", "c", []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, "k", "c", []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path, "k", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "second" {
+		t.Errorf("replace: got %q, want %q", got, "second")
+	}
+	// The staging temp file must not linger after a successful rename.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory holds %d entries after replace, want 1", len(entries))
+	}
+}
+
+func TestNameIsStableAndDistinct(t *testing.T) {
+	a1, a2 := Name("hweval", "cfgA"), Name("hweval", "cfgA")
+	b := Name("hweval", "cfgB")
+	if a1 != a2 {
+		t.Errorf("Name not stable: %q vs %q", a1, a2)
+	}
+	if a1 == b {
+		t.Errorf("Name collides across config keys: %q", a1)
+	}
+}

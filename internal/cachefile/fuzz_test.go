@@ -1,0 +1,49 @@
+package cachefile
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode drives arbitrary bytes through the container parser: it must
+// never panic, and whenever it does accept an input, re-encoding the parsed
+// sections must reproduce the accepted bytes exactly (the format has no
+// redundant encodings, so accept ⇒ canonical).
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Encode("", "", nil))
+	f.Add(Encode("layercost", "cfg", []byte("payload")))
+	f.Add(Encode("evalcache", "a|b|c", bytes.Repeat([]byte{0xfe, 0x00}, 300)))
+	truncated := Encode("k", "c", []byte("p"))
+	f.Add(truncated[:len(truncated)-3])
+	flipped := Encode("k", "c", []byte("p"))
+	flipped[10] ^= 1
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kind, configKey, payload, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if got := Encode(kind, configKey, payload); !bytes.Equal(got, data) {
+			t.Errorf("accepted input is not canonical:\n in: %x\nout: %x", data, got)
+		}
+	})
+}
+
+// FuzzEncodeDecode checks the inverse direction: every encodable triple must
+// decode back to itself bit-for-bit.
+func FuzzEncodeDecode(f *testing.F) {
+	f.Add("layercost", "cfg", []byte("payload"))
+	f.Add("", "", []byte{})
+	f.Fuzz(func(t *testing.T, kind, configKey string, payload []byte) {
+		k, c, p, err := Decode(Encode(kind, configKey, payload))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if k != kind || c != configKey || !bytes.Equal(p, payload) {
+			t.Errorf("round trip mutated sections: (%q,%q,%x) -> (%q,%q,%x)",
+				kind, configKey, payload, k, c, p)
+		}
+	})
+}

@@ -97,6 +97,20 @@ type Config struct {
 	// pure function of its inputs, so sharing is bit-identical; it overrides
 	// HWCache/HWCacheCapacity/HWCacheShards.
 	SharedHWCache *evalcache.Cache[HWMetrics]
+	// CacheDir, when non-empty, backs the layer-cost memo and the (private)
+	// hardware-evaluation cache with a persistent on-disk warm tier: the
+	// evaluator loads matching snapshots from this directory at construction
+	// and Evaluator.SaveCaches writes them back, so a fresh process starts
+	// with ~100% memo hit rates from the first episode. The files are
+	// versioned and checksummed, keyed by the cost-model calibration (and,
+	// for the hardware cache, the workload and hardware space), and every
+	// load failure — missing, torn, corrupt, stale version, different
+	// calibration — silently degrades to a cold start. Both tiers memoize
+	// pure functions and gob round-trips float64s bit-exactly, so a warm
+	// start changes work counters, never results. A SharedHWCache is not
+	// loaded or saved here; its owner persists the bundle (see
+	// pkg/nasaic.SharedMemos).
+	CacheDir string
 	// SolverMoveScanMin, SolverExhaustSplitMin and SolverMaxWorkers expose
 	// internal/sched's parallel-scan thresholds (minimum candidate moves per
 	// heuristic refinement round, minimum enumeration size per exhaustive

@@ -175,6 +175,9 @@ func NewEvaluator(w workload.Workload, cfg Config) (*Evaluator, error) {
 			Shards:   cfg.HWCacheShards,
 		})
 	}
+	// Warm-load before computing bounds: the bound sampling already runs
+	// through both memo tiers, so a warm start skips its evaluations too.
+	e.loadCaches()
 	e.Bounds = e.computeBounds()
 	return e, nil
 }

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nasaic/internal/workload"
+)
+
+func runWithCacheDir(t *testing.T, w workload.Workload, dir string, episodes int, mutate func(*Config)) (*Result, EvalStats) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Episodes = episodes
+	cfg.Seed = 7
+	cfg.Workers = 4
+	cfg.CacheDir = dir
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	x, err := New(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := x.Run()
+	if err := x.SaveCaches(); err != nil {
+		t.Fatalf("SaveCaches: %v", err)
+	}
+	return res, x.Evaluator().EvalStats()
+}
+
+// The warm tier's hard line: a second cold-process run pointed at the same
+// cache directory must return bit-identical results while doing (almost) no
+// hardware-evaluation or cost-model work — every memoized key is served from
+// disk, so only the work counters change.
+func TestWarmStartBitIdenticalAndSkipsRecomputation(t *testing.T) {
+	episodes := 12
+	if testing.Short() {
+		episodes = 6
+	}
+	w := workload.W3()
+	dir := t.TempDir()
+
+	coldRes, coldStats := runWithCacheDir(t, w, dir, episodes, nil)
+	ref := outcomeFingerprint(coldRes)
+	if ref == "" {
+		t.Fatal("empty reference fingerprint")
+	}
+	if coldStats.HWEvals == 0 {
+		t.Fatal("cold run reports zero hardware evaluations; test is vacuous")
+	}
+
+	// A fresh explorer simulates the second process: nothing shared
+	// in-process (private memo, private cache), only the files under dir.
+	warmRes, warmStats := runWithCacheDir(t, w, dir, episodes, nil)
+	if got := outcomeFingerprint(warmRes); got != ref {
+		t.Errorf("warm run diverged from cold run:\n--- cold ---\n%s--- warm ---\n%s", ref, got)
+	}
+	if warmStats.HWEvals != 0 {
+		t.Errorf("warm run recomputed %d hardware evaluations, want 0 (all %d requests memoized)",
+			warmStats.HWEvals, warmStats.HWRequests)
+	}
+	if warmStats.LayerCostRequests > 0 && warmStats.LayerCostHits != warmStats.LayerCostRequests {
+		t.Errorf("warm run layer-cost hits %d of %d requests, want 100%%",
+			warmStats.LayerCostHits, warmStats.LayerCostRequests)
+	}
+
+	// A third run must also leave the snapshot loadable (save-after-load is
+	// a fixpoint, not a corruption amplifier).
+	thirdRes, _ := runWithCacheDir(t, w, dir, episodes, nil)
+	if got := outcomeFingerprint(thirdRes); got != ref {
+		t.Error("third (warm) run diverged")
+	}
+}
+
+// A changed cost-model calibration must retire the snapshot: the run starts
+// cold (recomputes) instead of serving costs from the wrong physics.
+func TestWarmTierInvalidatedByCalibrationChange(t *testing.T) {
+	episodes := 6
+	w := workload.W3()
+	dir := t.TempDir()
+	if _, st := runWithCacheDir(t, w, dir, episodes, nil); st.HWEvals == 0 {
+		t.Fatal("cold run reports zero hardware evaluations")
+	}
+
+	_, stats := runWithCacheDir(t, w, dir, episodes, func(cfg *Config) {
+		cfg.Cost.EnergyScale *= 1.25
+	})
+	if stats.HWEvals == 0 {
+		t.Error("recalibrated run served stale snapshots: zero hardware evaluations")
+	}
+}
+
+// Corrupting every snapshot on disk must degrade the next run to a cold
+// start — same results, no crash.
+func TestWarmTierCorruptFilesDegradeToCold(t *testing.T) {
+	episodes := 6
+	w := workload.W3()
+	dir := t.TempDir()
+	coldRes, _ := runWithCacheDir(t, w, dir, episodes, nil)
+	ref := outcomeFingerprint(coldRes)
+
+	files, err := filepath.Glob(filepath.Join(dir, "*.cache"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no snapshot files written (err=%v)", err)
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0xff
+		if err := os.WriteFile(f, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	res, stats := runWithCacheDir(t, w, dir, episodes, nil)
+	if got := outcomeFingerprint(res); got != ref {
+		t.Error("run after snapshot corruption diverged from the cold reference")
+	}
+	if stats.HWEvals == 0 {
+		t.Error("corrupt snapshots were served: zero hardware evaluations")
+	}
+}
+
+// The snapshot files carry the expected naming scheme, so operators can
+// recognize (and safely delete) warm-tier state.
+func TestWarmTierFileNaming(t *testing.T) {
+	w := workload.W3()
+	dir := t.TempDir()
+	runWithCacheDir(t, w, dir, 6, nil)
+	files, err := filepath.Glob(filepath.Join(dir, "*.cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	for _, f := range files {
+		kinds = append(kinds, filepath.Base(f))
+	}
+	joined := strings.Join(kinds, " ")
+	if !strings.Contains(joined, "layercost-") || !strings.Contains(joined, "hweval-") {
+		t.Fatalf("snapshot files %v miss the layercost-/hweval- prefixes", kinds)
+	}
+}

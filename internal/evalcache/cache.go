@@ -77,6 +77,7 @@ type Cache[V any] struct {
 	misses    stats.Counter
 	dedups    stats.Counter
 	evictions stats.Counter
+	size      stats.Counter // resident entries across all shards
 }
 
 // New builds a cache with the given options.
@@ -155,11 +156,13 @@ func (c *Cache[V]) putLocked(s *shard[V], key string, val V) {
 		return
 	}
 	s.items[key] = s.ll.PushFront(&entry[V]{key: key, val: val})
+	c.size.Inc()
 	if s.ll.Len() > s.capacity {
 		last := s.ll.Back()
 		s.ll.Remove(last)
 		delete(s.items, last.Value.(*entry[V]).key)
 		c.evictions.Inc()
+		c.size.Add(-1)
 	}
 }
 
@@ -264,8 +267,16 @@ func (c *Cache[V]) GetOrComputeErr(key string, compute func() (V, error)) (V, bo
 	}
 }
 
-// Len returns the number of resident entries.
+// Len returns the number of resident entries. It reads a running atomic
+// counter maintained by insert/evict, so it is O(1) — safe to call on hot
+// paths like per-episode stats snapshots — rather than locking every shard.
 func (c *Cache[V]) Len() int {
+	return int(c.size.Value())
+}
+
+// lenScan counts resident entries by locking and walking every shard — the
+// O(shards) ground truth the Len counter is regression-tested against.
+func (c *Cache[V]) lenScan() int {
 	n := 0
 	for _, s := range c.shards {
 		s.mu.Lock()

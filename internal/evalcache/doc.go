@@ -17,4 +17,12 @@
 // canonical fingerprints (accel.Design.Fingerprint plus dnn.Network
 // signatures); two semantically identical inputs must produce identical
 // keys for deduplication to fire.
+//
+// SaveFile/LoadFile extend the cache with a persistent on-disk warm tier:
+// resident entries snapshot into a versioned, checksummed cachefile
+// (internal/cachefile) under a caller-supplied config key — the canonical
+// fingerprint of everything parameterizing the cached computation — and a
+// later process reloads them before its first request. gob round-trips
+// values bit-exactly and every damaged or mismatched file degrades to a
+// cold start, so warm starts change hit counters, never results.
 package evalcache

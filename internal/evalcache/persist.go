@@ -1,0 +1,70 @@
+package evalcache
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"nasaic/internal/cachefile"
+)
+
+// Kind is the cachefile payload discriminator of persisted evalcache
+// snapshots.
+const Kind = "evalcache"
+
+// Entry is one persisted key/value pair.
+type Entry[V any] struct {
+	Key string
+	Val V
+}
+
+// Entries snapshots the resident entries in least-to-most recently used
+// order per shard, so replaying them through Put reconstructs each shard's
+// LRU recency. The snapshot is taken shard by shard: concurrent writers can
+// add entries the snapshot misses, which only means they are recomputed
+// after a reload — never that a stale value is served.
+func (c *Cache[V]) Entries() []Entry[V] {
+	var out []Entry[V]
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for el := s.ll.Back(); el != nil; el = el.Prev() {
+			e := el.Value.(*entry[V])
+			out = append(out, Entry[V]{Key: e.key, Val: e.val})
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// SaveFile atomically writes the cache's resident entries to path under the
+// given config key (the canonical fingerprint of everything parameterizing
+// the cached computation; see cachefile). The values are gob-encoded, which
+// round-trips float64s bit-exactly — a reloaded entry is indistinguishable
+// from a recomputed one.
+func SaveFile[V any](c *Cache[V], path, configKey string) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(c.Entries()); err != nil {
+		return fmt.Errorf("evalcache: encode snapshot: %w", err)
+	}
+	return cachefile.WriteFile(path, Kind, configKey, buf.Bytes())
+}
+
+// LoadFile loads a snapshot written by SaveFile into c, returning the number
+// of entries inserted. A missing, torn, corrupt, stale-versioned or
+// differently-configured file returns an error and loads nothing — callers
+// treat every failure as a cold start. Loading into a non-empty cache is
+// safe: existing keys are refreshed with the (identical) stored value.
+func LoadFile[V any](c *Cache[V], path, configKey string) (int, error) {
+	payload, err := cachefile.ReadFile(path, Kind, configKey)
+	if err != nil {
+		return 0, err
+	}
+	var entries []Entry[V]
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&entries); err != nil {
+		return 0, fmt.Errorf("%w: gob payload: %v", cachefile.ErrCorrupt, err)
+	}
+	for _, e := range entries {
+		c.Put(e.Key, e.Val)
+	}
+	return len(entries), nil
+}

@@ -53,6 +53,15 @@ type Budget struct {
 	// move-scan simulator (the zero value keeps it on). Bit-identical
 	// either way; exists for the solver speedup controls.
 	NoSolverCheckpoint bool
+	// CacheDir backs the layer-cost memo and hardware-evaluation caches of
+	// every search in the experiment with a persistent on-disk warm tier
+	// (see core.Config.CacheDir): snapshots under this directory are loaded
+	// when each evaluator is built and written back after each search, so a
+	// second process pointed at the same directory replays the experiment
+	// with ~100% memo hit rates. Empty (the zero value) keeps the warm tier
+	// off. Results are bit-identical either way; only the reported hit
+	// rates and wall clock change.
+	CacheDir string
 }
 
 // PaperBudget is the full-fidelity configuration of §V-A.
@@ -76,6 +85,7 @@ func (b Budget) config() core.Config {
 	cfg.ShareLayerMemo = b.SharedMemo
 	cfg.BatchedController = !b.SequentialController
 	cfg.SolverNoCheckpoint = b.NoSolverCheckpoint
+	cfg.CacheDir = b.CacheDir
 	return cfg
 }
 

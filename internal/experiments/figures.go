@@ -109,6 +109,7 @@ func Fig1(ctx context.Context, b Budget) (*Fig1Data, error) {
 		d.Heuristic = &p
 		d.HeuristicAcc = mc.ClosestToSpec.Weighted
 	}
+	_ = e.SaveCaches() // persist the warm tier; no-op without Budget.CacheDir
 	return d, nil
 }
 
@@ -186,6 +187,7 @@ func Fig6(ctx context.Context, w workload.Workload, b Budget) (*Fig6Data, error)
 		d.LowerBounds = append(d.LowerBounds,
 			toPoint(m.Latency, m.EnergyNJ, m.AreaUM2, w.Weighted(d.LowerAccs), m.Feasible))
 	}
+	_ = x.SaveCaches() // persist the warm tier; no-op without Budget.CacheDir
 	return d, nil
 }
 

@@ -54,6 +54,9 @@ func table1Workload(ctx context.Context, w workload.Workload, b Budget, acc *cor
 	if err != nil {
 		return nil, nil, err
 	}
+	// Snapshot the warm tier (a no-op without Budget.CacheDir) so the next
+	// process replays this workload warm; save failures never fail the table.
+	_ = x.SaveCaches()
 	if res.Best == nil {
 		return nil, nil, fmt.Errorf("NASAIC found no feasible solution in %d episodes", cfg.Episodes)
 	}

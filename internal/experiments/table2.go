@@ -82,6 +82,7 @@ func Table2(ctx context.Context, b Budget) ([]ApproachResult, SearchStats, error
 	if err != nil {
 		return nil, stats, err
 	}
+	_ = x.SaveCaches() // persist the warm tier; no-op without Budget.CacheDir
 	if res.Best == nil {
 		return nil, stats, fmt.Errorf("experiments: NASAIC found no feasible W3 solution")
 	}
@@ -128,6 +129,7 @@ func table2NAS(ctx context.Context, w3 workload.Workload, b Budget, cfg core.Con
 	if err != nil {
 		return ApproachResult{}, err
 	}
+	_ = e.SaveCaches() // persist the warm tier; no-op without Budget.CacheDir
 	return ApproachResult{
 		Workload: "W3", Approach: "NAS",
 		Hardware: d.Subs[0].String(),
@@ -151,6 +153,7 @@ func runRestricted(ctx context.Context, name string, w workload.Workload, cfg co
 	if err != nil {
 		return ApproachResult{}, nil, err
 	}
+	_ = x.SaveCaches() // persist the warm tier; no-op without Budget.CacheDir
 	if res.Best == nil {
 		return ApproachResult{}, nil, fmt.Errorf("experiments: %s search found no feasible solution", name)
 	}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 
@@ -70,11 +71,22 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid job spec: %w", err))
 		return
 	}
+	// The body must be exactly one JSON spec: trailing data (a second
+	// document, stray tokens) is a malformed request, not something to
+	// silently ignore.
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); err != io.EOF {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid job spec: trailing data after JSON body"))
+		return
+	}
 	j, err := s.m.Submit(spec)
 	if err != nil {
 		code := http.StatusBadRequest
-		if errors.Is(err, ErrClosed) {
+		switch {
+		case errors.Is(err, ErrClosed):
 			code = http.StatusServiceUnavailable
+		case errors.Is(err, ErrTooManyPending):
+			code = http.StatusTooManyRequests
 		}
 		writeErr(w, code, err)
 		return

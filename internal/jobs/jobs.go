@@ -98,6 +98,17 @@ type Options struct {
 	// value is off; cmd/nasaicd turns it on by default (-sharedmemo=false
 	// opts out).
 	ShareMemos bool
+	// MaxPending bounds the jobs queued for a concurrency slot; once
+	// reached, Submit rejects further specs with ErrTooManyPending (the
+	// HTTP layer maps it to 429) instead of queueing without bound. <=0
+	// (the zero value) keeps the seed behavior of an unbounded queue.
+	MaxPending int
+	// CacheDir backs every job's memo tiers with the persistent on-disk
+	// warm tier under this directory (see nasaic.WithCacheDir), so a
+	// restarted daemon starts warm. The shared bundle is additionally
+	// snapshotted by FlushCaches (periodic, via cmd/nasaicd) and on Close.
+	// Empty keeps the warm tier off.
+	CacheDir string
 }
 
 func (o Options) maxConcurrent() int {
@@ -124,6 +135,10 @@ func (o Options) eventBuffer() int {
 // ErrClosed is returned by Submit after the manager shut down.
 var ErrClosed = errors.New("jobs: manager closed")
 
+// ErrTooManyPending is returned by Submit when Options.MaxPending jobs are
+// already waiting for a concurrency slot.
+var ErrTooManyPending = errors.New("jobs: too many pending jobs")
+
 // ErrNotFound is returned for unknown job IDs.
 var ErrNotFound = errors.New("jobs: job not found")
 
@@ -137,11 +152,12 @@ type Manager struct {
 	sem    chan struct{}
 	wg     sync.WaitGroup
 
-	mu     sync.Mutex
-	closed bool
-	seq    int
-	jobs   map[string]*Job
-	order  []string // submission order, for listing and history eviction
+	mu      sync.Mutex
+	closed  bool
+	seq     int
+	pending int // jobs waiting for a concurrency slot (MaxPending bound)
+	jobs    map[string]*Job
+	order   []string // submission order, for listing and history eviction
 }
 
 // NewManager builds a manager; Close releases it.
@@ -156,12 +172,19 @@ func NewManager(opts Options) *Manager {
 	}
 	if opts.ShareMemos {
 		m.shared = nasaic.NewSharedMemos()
+		if opts.CacheDir != "" {
+			// Warm the bundle from the persistent tier at startup, so even
+			// the first job benefits from a previous daemon's work.
+			m.shared.LoadDir(opts.CacheDir)
+		}
 	}
 	return m
 }
 
 // Submit validates the spec, registers a pending job and starts it as soon
-// as a concurrency slot frees up. It returns the job immediately.
+// as a concurrency slot frees up. It returns the job immediately. When
+// Options.MaxPending jobs are already waiting for a slot, it rejects the
+// spec with ErrTooManyPending instead of queueing without bound.
 func (m *Manager) Submit(spec Spec) (*Job, error) {
 	if _, err := spec.options(); err != nil {
 		return nil, err
@@ -171,6 +194,11 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 		m.mu.Unlock()
 		return nil, ErrClosed
 	}
+	if m.opts.MaxPending > 0 && m.pending >= m.opts.MaxPending {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w (max %d)", ErrTooManyPending, m.opts.MaxPending)
+	}
+	m.pending++
 	m.seq++
 	id := fmt.Sprintf("job-%d", m.seq)
 	jctx, jcancel := context.WithCancel(m.ctx)
@@ -198,10 +226,13 @@ func (m *Manager) run(j *Job, ctx context.Context) {
 	defer m.wg.Done()
 	defer j.cancel()
 
-	// Wait for a concurrency slot, unless cancelled while pending.
+	// Wait for a concurrency slot, unless cancelled while pending. Either
+	// way the job stops counting against the MaxPending bound here.
 	select {
 	case m.sem <- struct{}{}:
+		m.pendingDone()
 	case <-ctx.Done():
+		m.pendingDone()
 		j.finish(nil, ctx.Err())
 		return
 	}
@@ -218,6 +249,9 @@ func (m *Manager) run(j *Job, ctx context.Context) {
 	}
 	if m.shared != nil {
 		opts = append(opts, nasaic.WithSharedMemos(m.shared))
+	}
+	if m.opts.CacheDir != "" {
+		opts = append(opts, nasaic.WithCacheDir(m.opts.CacheDir))
 	}
 	opts = append(opts, nasaic.WithEventHandler(j.appendEvent))
 	j.setRunning()
@@ -258,8 +292,8 @@ func (m *Manager) List() []*Job {
 	return out
 }
 
-// Close cancels every job, waits for them to drain, and rejects further
-// submissions.
+// Close cancels every job, waits for them to drain, flushes the warm tier
+// and rejects further submissions.
 func (m *Manager) Close() {
 	m.mu.Lock()
 	if m.closed {
@@ -271,6 +305,26 @@ func (m *Manager) Close() {
 	m.mu.Unlock()
 	m.cancel()
 	m.wg.Wait()
+	_ = m.FlushCaches()
+}
+
+// FlushCaches snapshots the shared memo bundle into Options.CacheDir so a
+// restarted daemon starts warm; a no-op (nil) without both ShareMemos and
+// CacheDir. cmd/nasaicd calls it periodically and Close calls it at
+// shutdown; each flush atomically replaces the previous snapshot. (Without
+// ShareMemos each job persists its own caches when its run finishes.)
+func (m *Manager) FlushCaches() error {
+	if m.shared == nil || m.opts.CacheDir == "" {
+		return nil
+	}
+	return m.shared.SaveDir(m.opts.CacheDir)
+}
+
+// pendingDone marks one job as no longer waiting for a concurrency slot.
+func (m *Manager) pendingDone() {
+	m.mu.Lock()
+	m.pending--
+	m.mu.Unlock()
 }
 
 // evictLocked drops the oldest terminal jobs beyond the history bound.

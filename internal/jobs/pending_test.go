@@ -1,0 +1,169 @@
+package jobs
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// waitRunning blocks until the job holds a concurrency slot (so it no
+// longer counts against MaxPending).
+func waitRunning(t *testing.T, j *Job, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if j.Snapshot().Status == StatusRunning {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s not running after %v (status %s)", j.ID, timeout, j.Snapshot().Status)
+}
+
+func TestMaxPendingBoundsQueue(t *testing.T) {
+	m := NewManager(Options{MaxConcurrent: 1, MaxPending: 1})
+	defer m.Close()
+
+	long, err := m.Submit(quickSpec(100000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, long, time.Minute) // holds the only slot; queue empty
+
+	queued, err := m.Submit(quickSpec(10))
+	if err != nil {
+		t.Fatalf("first queued submission rejected: %v", err)
+	}
+	if _, err := m.Submit(quickSpec(10)); !errors.Is(err, ErrTooManyPending) {
+		t.Fatalf("over-bound submission: err = %v, want ErrTooManyPending", err)
+	}
+
+	// Cancelling the queued job frees its pending slot.
+	if _, err := m.Cancel(queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, queued, time.Minute)
+	if _, err := m.Submit(quickSpec(10)); err != nil {
+		t.Fatalf("submission after queue drained: %v", err)
+	}
+
+	if _, err := m.Cancel(long.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHTTPSubmitTooManyPending(t *testing.T) {
+	m := NewManager(Options{MaxConcurrent: 1, MaxPending: 1})
+	defer m.Close()
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+
+	snap := postJob(t, srv.URL, quickSpec(100000))
+	long, err := m.Get(snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, long, time.Minute)
+	postJob(t, srv.URL, quickSpec(10)) // fills the pending queue
+
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"workload":"W3","episodes":10}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-bound POST: status %d, want 429", resp.StatusCode)
+	}
+}
+
+// A submit body must be exactly one JSON document: trailing data after the
+// spec is a 400, while trailing whitespace stays valid.
+func TestHTTPSubmitRejectsTrailingData(t *testing.T) {
+	m := NewManager(Options{MaxConcurrent: 1})
+	defer m.Close()
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+
+	for _, body := range []string{
+		`{"workload":"W3","episodes":1} {"workload":"W1"}`,
+		`{"workload":"W3","episodes":1}[]`,
+		`{"workload":"W3","episodes":1}null`,
+		`{"workload":"W3","episodes":1}garbage`,
+	} {
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+	// No job may have been registered by the rejected bodies.
+	if n := len(m.List()); n != 0 {
+		t.Fatalf("%d jobs registered by rejected submissions", n)
+	}
+
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
+		strings.NewReader("{\"workload\":\"W3\",\"episodes\":2}\n  \n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("trailing whitespace: status %d, want 202", resp.StatusCode)
+	}
+}
+
+// A manager with a cache directory persists the shared bundle on Close, and
+// a successor manager starts warm from those files.
+func TestManagerWarmTierAcrossRestarts(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{MaxConcurrent: 1, ShareMemos: true, CacheDir: dir}
+
+	m1 := NewManager(opts)
+	j, err := m1.Submit(quickSpec(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := waitTerminal(t, j, 2*time.Minute)
+	if first.Status != StatusSucceeded {
+		t.Fatalf("first job: status %s (err %q)", first.Status, first.Error)
+	}
+	m1.Close() // flushes the warm tier
+
+	files, err := filepath.Glob(filepath.Join(dir, "*.cache"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no warm-tier snapshots after Close (err=%v)", err)
+	}
+
+	m2 := NewManager(opts) // loads the warm tier at construction
+	defer m2.Close()
+	j2, err := m2.Submit(quickSpec(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := waitTerminal(t, j2, 2*time.Minute)
+	if second.Status != StatusSucceeded {
+		t.Fatalf("second job: status %s (err %q)", second.Status, second.Error)
+	}
+	// Bit-identity across the restart: same spec, same outcome.
+	if first.Result == nil || second.Result == nil ||
+		first.Result.Best == nil || second.Result.Best == nil {
+		t.Fatal("missing results")
+	}
+	if first.Result.Best.WeightedAccuracy != second.Result.Best.WeightedAccuracy ||
+		first.Result.Best.LatencyCycles != second.Result.Best.LatencyCycles {
+		t.Fatalf("restarted run diverged: %+v != %+v", second.Result.Best, first.Result.Best)
+	}
+	// The warm start shows up as strictly fewer fresh hardware evaluations.
+	if second.Result.Stats.HWEvals >= first.Result.Stats.HWEvals {
+		t.Errorf("warm job computed %d hardware evaluations, cold did %d — no warm start",
+			second.Result.Stats.HWEvals, first.Result.Stats.HWEvals)
+	}
+}

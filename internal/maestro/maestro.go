@@ -9,6 +9,13 @@
 // 1e9 µm²; see DESIGN.md §4). Relative access costs follow the standard
 // memory-hierarchy ratios (register file ≈ MAC ≪ NoC < global buffer ≪
 // DRAM) that make dataflow choice matter.
+//
+// Because LayerCost is a pure function of ⟨layer shape, dataflow, PEs, BW⟩
+// given a Config, its results are memoized at two tiers: CostMemo (per
+// evaluator or process-wide via SharedCostMemo) in memory, and — through
+// CostMemo.SaveFile/LoadFile — a persistent on-disk warm tier keyed by the
+// calibration's Fingerprint, so fresh processes skip recomputation without
+// ever changing a result (see internal/cachefile for the snapshot format).
 package maestro
 
 import (

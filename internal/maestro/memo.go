@@ -5,6 +5,7 @@ import (
 
 	"nasaic/internal/dataflow"
 	"nasaic/internal/dnn"
+	"nasaic/internal/stats"
 )
 
 // CostMemo memoizes LayerCost for one cost-model configuration. LayerCost is
@@ -15,8 +16,9 @@ import (
 // so steady-state lookups are lock-free reads shared by all evaluation
 // workers; duplicate computes during warm-up are harmless.
 type CostMemo struct {
-	cfg Config
-	m   sync.Map // CostKey -> LayerCost
+	cfg  Config
+	m    sync.Map      // CostKey -> LayerCost
+	size stats.Counter // resident entries; kept exact via LoadOrStore
 }
 
 // NewCostMemo returns an empty memo bound to cfg.
@@ -34,12 +36,29 @@ func (cm *CostMemo) LayerCost(l dnn.Layer, style dataflow.Style, pes, bwGBs int)
 		return v.(LayerCost), true
 	}
 	lc := cm.cfg.LayerCost(l, style, pes, bwGBs)
-	cm.m.Store(key, lc)
+	cm.store(key, lc)
 	return lc, false
 }
 
-// Size returns the number of memoized entries.
+// store inserts one entry, keeping the size counter exact when two callers
+// race to fill the same key (LayerCost is pure, so whichever value lands is
+// bit-identical to the other).
+func (cm *CostMemo) store(key CostKey, lc LayerCost) {
+	if _, loaded := cm.m.LoadOrStore(key, lc); !loaded {
+		cm.size.Inc()
+	}
+}
+
+// Size returns the number of memoized entries. It reads a running atomic
+// counter — O(1), safe on per-episode stats paths — instead of Ranging the
+// whole sync.Map.
 func (cm *CostMemo) Size() int {
+	return int(cm.size.Value())
+}
+
+// sizeScan counts entries by Ranging the map — the O(n) ground truth the
+// Size counter is regression-tested against.
+func (cm *CostMemo) sizeScan() int {
 	n := 0
 	cm.m.Range(func(any, any) bool { n++; return true })
 	return n

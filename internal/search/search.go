@@ -140,6 +140,9 @@ func NASToASIC(ctx context.Context, w workload.Workload, cfg core.Config, archSa
 			}
 		}
 	}
+	// Snapshot the warm tier (a no-op without Config.CacheDir); the baseline
+	// hammers the same layer shapes NASAIC does, so later searches start warm.
+	_ = e.SaveCaches()
 	return best, nil
 }
 
@@ -232,6 +235,7 @@ func ASICToHWNAS(ctx context.Context, w workload.Workload, cfg core.Config, mcRu
 			return Candidate{}, err
 		}
 	}
+	_ = e.SaveCaches() // persist the warm tier; no-op without Config.CacheDir
 	return best, nil
 }
 
@@ -292,5 +296,6 @@ func MonteCarlo(ctx context.Context, w workload.Workload, cfg core.Config, runs 
 		}
 	}
 	res.Stats = e.EvalStats()
+	_ = e.SaveCaches() // persist the warm tier; no-op without Config.CacheDir
 	return res, nil
 }

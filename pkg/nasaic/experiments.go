@@ -38,6 +38,10 @@ type Budget struct {
 	// NoSolverCheckpoint disables the HAP heuristic's checkpointed
 	// move-scan simulator.
 	NoSolverCheckpoint bool `json:"no_solver_checkpoint,omitempty"`
+	// CacheDir backs every search's memo tiers with the persistent on-disk
+	// warm tier under this directory (see WithCacheDir); empty keeps the
+	// warm tier off.
+	CacheDir string `json:"cache_dir,omitempty"`
 }
 
 // QuickBudget is the reduced configuration used by tests and benchmarks;
@@ -66,6 +70,7 @@ func (b Budget) internal() experiments.Budget {
 		SharedMemo:           b.SharedMemo,
 		SequentialController: b.SequentialController,
 		NoSolverCheckpoint:   b.NoSolverCheckpoint,
+		CacheDir:             b.CacheDir,
 	}
 }
 

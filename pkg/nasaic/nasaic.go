@@ -35,6 +35,11 @@ func Run(ctx context.Context, opts ...Option) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Warm the shared bundle from the persistent tier before the evaluator is
+	// built (once per bundle; later runs are already warm in-process).
+	if s.cfg.CacheDir != "" && s.shared != nil {
+		s.shared.LoadDir(s.cfg.CacheDir)
+	}
 	x, err := core.New(w, s.cfg)
 	if err != nil {
 		return nil, err
@@ -74,6 +79,16 @@ func Run(ctx context.Context, opts ...Option) (*Result, error) {
 		cres, runErr = x.RunEvolutionContext(ctx, ec)
 	default:
 		cres, runErr = x.RunContext(ctx)
+	}
+	// Persist the warm tier even after a cancelled run: every resident entry
+	// memoizes a pure function, so partial snapshots are as valid as full
+	// ones. Save failures never fail the run — the tier is an accelerator,
+	// not a dependency.
+	if s.cfg.CacheDir != "" {
+		_ = x.SaveCaches()
+		if s.shared != nil {
+			_ = s.shared.SaveDir(s.cfg.CacheDir)
+		}
 	}
 	return convertResult(w, x, cres), runErr
 }

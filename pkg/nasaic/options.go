@@ -1,10 +1,15 @@
 package nasaic
 
 import (
+	"errors"
 	"fmt"
+	"path/filepath"
+	"sync"
 
+	"nasaic/internal/cachefile"
 	"nasaic/internal/core"
 	"nasaic/internal/evalcache"
+	"nasaic/internal/maestro"
 )
 
 // Optimizer selects the search strategy of one run.
@@ -23,6 +28,7 @@ type settings struct {
 	workload  string
 	cfg       core.Config
 	optimizer Optimizer
+	shared    *SharedMemos
 	handlers  []func(Event)
 	channels  []chan<- Event
 	errs      []error
@@ -104,6 +110,21 @@ func WithProcessSharedLayerMemo(on bool) Option {
 	return func(s *settings) { s.cfg.ShareLayerMemo = on }
 }
 
+// WithCacheDir points the run's layer-cost memo and hardware-evaluation
+// cache at a persistent on-disk warm tier: matching snapshots under dir are
+// loaded before the search and written back (atomically) when Run returns,
+// so a second process pointed at the same directory starts with ~100% memo
+// hit rates from the first episode. Snapshot files are versioned and
+// checksummed and keyed by the cost-model calibration; any missing, torn,
+// corrupt or mismatched file silently degrades to a cold start. The warm
+// tier memoizes pure functions and round-trips values bit-exactly, so it
+// changes work counters (hits vs computes), never results. When combined
+// with WithSharedMemos, the bundle is warm-loaded from dir once per process
+// and saved back after each run.
+func WithCacheDir(dir string) Option {
+	return func(s *settings) { s.cfg.CacheDir = dir }
+}
+
 // WithBatchedController toggles the controller's lockstep batched
 // policy-gradient fast path (default on). The batched path is bit-identical
 // to the sequential one.
@@ -168,6 +189,8 @@ func WithEventChannel(ch chan<- Event) Option {
 type SharedMemos struct {
 	acc *core.AccuracyMemo
 	hw  *evalcache.Cache[core.HWMetrics]
+
+	loadOnce sync.Once // warm tier is loaded at most once per bundle
 }
 
 // NewSharedMemos returns an empty shared-memo bundle.
@@ -193,8 +216,55 @@ func WithSharedMemos(m *SharedMemos) Option {
 			s.errs = append(s.errs, fmt.Errorf("nasaic: WithSharedMemos(nil)"))
 			return
 		}
+		s.shared = m
 		s.cfg.AccMemo = m.acc
 		s.cfg.SharedHWCache = m.hw
 		s.cfg.ShareLayerMemo = true
 	}
+}
+
+// sharedLayerMemo returns the process-wide layer-cost memo a bundle-routed
+// run uses (the facade never varies the calibration, so there is exactly
+// one).
+func sharedLayerMemo() *maestro.CostMemo {
+	return maestro.SharedCostMemo(core.DefaultConfig().Cost)
+}
+
+// sharedHWKey is the invalidation identity of the bundle's cross-workload
+// hardware-evaluation cache. The fixed "shared" scope mirrors the
+// in-process sharing semantics: entries are keyed by the full
+// ⟨design fingerprint, task-signature tuple⟩, which distinguishes workloads.
+func sharedHWKey() string {
+	return core.HWCacheConfigKey(core.DefaultConfig(), "shared")
+}
+
+// LoadDir warms the bundle from the persistent tier under dir: the shared
+// hardware-evaluation cache and the process-wide layer-cost memo. It returns
+// the number of entries loaded into each; every file-level failure —
+// missing, torn, corrupt, stale version, different calibration — loads
+// nothing and returns zero, which is always safe (cold start, identical
+// results). A bundle loads at most once: later calls (including the lazy
+// load a WithCacheDir+WithSharedMemos Run performs) are no-ops returning
+// zero.
+func (m *SharedMemos) LoadDir(dir string) (layerEntries, hwEntries int) {
+	m.loadOnce.Do(func() {
+		cm := sharedLayerMemo()
+		layerEntries, _ = cm.LoadFile(cm.CacheFile(dir))
+		key := sharedHWKey()
+		hwEntries, _ = evalcache.LoadFile(m.hw, filepath.Join(dir, cachefile.Name("hweval", key)), key)
+	})
+	return layerEntries, hwEntries
+}
+
+// SaveDir atomically snapshots the bundle — the shared hardware-evaluation
+// cache and the process-wide layer-cost memo — into dir, so the next process
+// starts warm. Safe to call periodically and at shutdown; each save replaces
+// the previous snapshot via temp file + rename.
+func (m *SharedMemos) SaveDir(dir string) error {
+	cm := sharedLayerMemo()
+	key := sharedHWKey()
+	return errors.Join(
+		cm.SaveFile(cm.CacheFile(dir)),
+		evalcache.SaveFile(m.hw, filepath.Join(dir, cachefile.Name("hweval", key)), key),
+	)
 }
