@@ -1,0 +1,92 @@
+package main
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// cacheFlusher serializes the periodic warm-tier flushes. Two defenses over
+// a bare ticker loop:
+//
+//   - Ticks that arrive while a flush is still writing are skipped, never
+//     stacked: a slow disk cannot accumulate concurrent (or back-to-back)
+//     snapshot writes.
+//   - A failed flush backs off exponentially — the next attempts are
+//     suppressed for interval, 2×interval, ... up to maxBackoff — instead of
+//     hammering a full or read-only disk at the tick rate. A success resets
+//     the backoff.
+type cacheFlusher struct {
+	flush      func() error
+	logf       func(format string, args ...any)
+	interval   time.Duration
+	maxBackoff time.Duration
+
+	inFlight  atomic.Bool
+	mu        sync.Mutex
+	notBefore time.Time // suppress attempts until then (failure backoff)
+	backoff   time.Duration
+}
+
+func newCacheFlusher(flush func() error, logf func(format string, args ...any), interval time.Duration) *cacheFlusher {
+	return &cacheFlusher{
+		flush:      flush,
+		logf:       logf,
+		interval:   interval,
+		maxBackoff: 16 * interval,
+	}
+}
+
+// run drives the flusher off a wall-clock ticker until ctx is done.
+func (f *cacheFlusher) run(ctx context.Context) {
+	t := time.NewTicker(f.interval)
+	defer t.Stop()
+	for {
+		select {
+		case now := <-t.C:
+			f.tick(now)
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// tick starts one flush unless one is already in flight or a failure
+// backoff is active; it reports whether a flush was started. The flush runs
+// on its own goroutine so the ticker keeps observing time (and keeps
+// skipping) while a slow flush is still writing.
+func (f *cacheFlusher) tick(now time.Time) bool {
+	f.mu.Lock()
+	suppressed := now.Before(f.notBefore)
+	f.mu.Unlock()
+	if suppressed {
+		return false
+	}
+	if !f.inFlight.CompareAndSwap(false, true) {
+		return false // previous flush still writing; skip, don't stack
+	}
+	go func() {
+		defer f.inFlight.Store(false)
+		err := f.flush()
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if err == nil {
+			f.backoff = 0
+			f.notBefore = time.Time{}
+			return
+		}
+		switch {
+		case f.backoff == 0:
+			f.backoff = f.interval
+		case f.backoff < f.maxBackoff:
+			f.backoff *= 2
+			if f.backoff > f.maxBackoff {
+				f.backoff = f.maxBackoff
+			}
+		}
+		f.notBefore = now.Add(f.backoff)
+		f.logf("warm-tier flush failed (backing off %s): %v", f.backoff, err)
+	}()
+	return true
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// settle waits for an in-flight flush to finish (backoff state is final
+// before inFlight clears).
+func settle(t *testing.T, f *cacheFlusher) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if !f.inFlight.Load() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("flush never finished")
+}
+
+func TestFlusherSkipsWhileInFlight(t *testing.T) {
+	release := make(chan error)
+	f := newCacheFlusher(func() error { return <-release }, t.Logf, time.Minute)
+	t0 := time.Unix(1000, 0)
+
+	if !f.tick(t0) {
+		t.Fatal("first tick did not start a flush")
+	}
+	// The flush is blocked mid-write; further ticks must skip, not stack.
+	for i := 1; i <= 3; i++ {
+		if f.tick(t0.Add(time.Duration(i) * time.Minute)) {
+			t.Fatalf("tick %d started a second flush while one was in flight", i)
+		}
+	}
+	release <- nil
+	settle(t, f)
+	if !f.tick(t0.Add(5 * time.Minute)) {
+		t.Fatal("tick after a successful flush did not start one")
+	}
+	release <- nil
+	settle(t, f)
+}
+
+func TestFlusherBacksOffAfterFailures(t *testing.T) {
+	var calls int
+	fail := errors.New("disk full")
+	var result error
+	f := newCacheFlusher(func() error { calls++; return result }, t.Logf, time.Minute)
+
+	now := time.Unix(2000, 0)
+	mustTick := func(want bool, what string) {
+		t.Helper()
+		if got := f.tick(now); got != want {
+			t.Fatalf("%s: tick = %v, want %v (backoff %s)", what, got, want, f.backoff)
+		}
+		settle(t, f)
+	}
+
+	// First failure: suppressed for one interval, then doubling.
+	result = fail
+	mustTick(true, "first attempt")
+	wantBackoff := time.Minute
+	for i := 0; i < 6; i++ {
+		mustTick(false, "during backoff")
+		now = now.Add(f.backoff) // advance exactly to the retry point
+		mustTick(true, "retry after backoff")
+		if wantBackoff < f.maxBackoff {
+			wantBackoff *= 2
+			if wantBackoff > f.maxBackoff {
+				wantBackoff = f.maxBackoff
+			}
+		}
+		if f.backoff != wantBackoff {
+			t.Fatalf("failure %d: backoff %s, want %s", i+2, f.backoff, wantBackoff)
+		}
+	}
+	if f.backoff != f.maxBackoff {
+		t.Fatalf("backoff %s never reached the %s cap", f.backoff, f.maxBackoff)
+	}
+
+	// One success resets everything.
+	result = nil
+	now = now.Add(f.backoff)
+	mustTick(true, "retry that succeeds")
+	if f.backoff != 0 || !f.notBefore.IsZero() {
+		t.Fatalf("success did not reset backoff: %s until %v", f.backoff, f.notBefore)
+	}
+	mustTick(true, "tick after reset")
+	if calls < 8 {
+		t.Fatalf("flush ran %d times, expected at least 8", calls)
+	}
+}

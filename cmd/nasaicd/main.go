@@ -6,12 +6,24 @@
 // Usage:
 //
 //	nasaicd [-addr :8080] [-max-jobs 2] [-max-pending 0] [-history 64]
-//	        [-sharedmemo] [-cachedir DIR] [-cacheflush 5m]
+//	        [-sharedmemo] [-cachedir DIR] [-cacheflush 5m] [-datadir DIR]
 //
 // With -cachedir the shared evaluation cache and memos persist across
 // restarts: the warm tier is loaded at startup, flushed every -cacheflush
 // interval, and flushed once more at shutdown. -max-pending bounds the jobs
 // queued for a concurrency slot; excess submissions get HTTP 429.
+//
+// With -datadir the daemon is crash-safe: every submission, state
+// transition and episode event is fsynced to an append-only journal under
+// DIR/journal before it becomes observable over HTTP. A restarted daemon
+// pointed at the same -datadir restores finished jobs — results and full
+// event rings, so SSE Last-Event-ID replay works across the restart — and
+// re-executes the jobs that were pending or running when the process died;
+// seeded determinism makes the re-run bit-identical, re-emitting events
+// under their journaled sequence numbers. A job cancelled before the crash
+// settles as cancelled rather than re-running. Journal damage (torn tails
+// from the crash itself, bit flips, version skew) is truncated away at
+// startup; it degrades durability, never prevents the daemon from starting.
 //
 // API:
 //
@@ -46,15 +58,21 @@ func main() {
 		sharedmemo = flag.Bool("sharedmemo", true, "share the evaluation cache and memos across jobs (results are identical either way)")
 		cachedir   = flag.String("cachedir", "", "directory for the persistent cache warm tier, loaded at startup and flushed periodically and at shutdown (results are identical either way)")
 		cacheflush = flag.Duration("cacheflush", 5*time.Minute, "interval between periodic warm-tier flushes (with -cachedir)")
+		datadir    = flag.String("datadir", "", "directory for the durable job journal; jobs survive restarts (finished ones are restored, interrupted ones re-executed)")
 	)
 	flag.Parse()
 
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "nasaicd: "+format+"\n", args...)
+	}
 	m := jobs.NewManager(jobs.Options{
 		MaxConcurrent: *maxJobs,
 		MaxPending:    *maxPending,
 		MaxHistory:    *history,
 		ShareMemos:    *sharedmemo,
 		CacheDir:      *cachedir,
+		DataDir:       *datadir,
+		Logf:          logf,
 	})
 	srv := &http.Server{
 		Addr:    *addr,
@@ -68,22 +86,11 @@ func main() {
 	defer stop()
 
 	// Periodically snapshot the warm tier so a crash loses at most one flush
-	// interval of memoized work; Close flushes once more at shutdown.
+	// interval of memoized work; Close flushes once more at shutdown. The
+	// flusher skips ticks while a flush is still writing and backs off after
+	// failures instead of hammering a bad disk.
 	if *cachedir != "" && *cacheflush > 0 {
-		go func() {
-			t := time.NewTicker(*cacheflush)
-			defer t.Stop()
-			for {
-				select {
-				case <-t.C:
-					if err := m.FlushCaches(); err != nil {
-						fmt.Fprintf(os.Stderr, "nasaicd: warm-tier flush: %v\n", err)
-					}
-				case <-ctx.Done():
-					return
-				}
-			}
-		}()
+		go newCacheFlusher(m.FlushCaches, logf, *cacheflush).run(ctx)
 	}
 
 	errc := make(chan error, 1)
@@ -91,6 +98,9 @@ func main() {
 	fmt.Printf("nasaicd listening on %s (max-jobs=%d, sharedmemo=%v)\n", *addr, *maxJobs, *sharedmemo)
 	if *cachedir != "" {
 		fmt.Printf("nasaicd: persistent warm tier at %s (flush every %s)\n", *cachedir, *cacheflush)
+	}
+	if *datadir != "" {
+		fmt.Printf("nasaicd: durable job journal at %s (jobs survive restarts)\n", *datadir)
 	}
 
 	select {

@@ -1,0 +1,237 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"nasaic/pkg/nasaic"
+)
+
+// daemon is one nasaicd process under test.
+type daemon struct {
+	cmd  *exec.Cmd
+	base string // http://127.0.0.1:port
+}
+
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "nasaicd")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func startDaemon(t *testing.T, bin, addr, datadir string) *daemon {
+	t.Helper()
+	cmd := exec.Command(bin, "-addr", addr, "-datadir", datadir, "-max-jobs", "1")
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{cmd: cmd, base: "http://" + addr}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+		}
+	})
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(d.base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return d
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("daemon at %s never became healthy", addr)
+	return nil
+}
+
+func (d *daemon) getJob(t *testing.T, id string) map[string]json.RawMessage {
+	t.Helper()
+	resp, err := http.Get(d.base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/jobs/%s: status %d", id, resp.StatusCode)
+	}
+	var m map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestKillRestartRecovery is the crash-safety acceptance smoke at process
+// level: SIGKILL the daemon mid-run, restart it over the same -datadir, and
+// require the re-executed job to finish bit-identical to a direct in-process
+// run of the same spec — with SSE Last-Event-ID replay working against the
+// recovered job.
+func TestKillRestartRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-level kill/restart smoke skipped in -short mode")
+	}
+	const episodes = 600
+	bin := buildDaemon(t)
+	datadir := t.TempDir()
+	addr := freeAddr(t)
+
+	d1 := startDaemon(t, bin, addr, datadir)
+	spec := fmt.Sprintf(`{"workload":"W3","episodes":%d,"seed":1,"workers":2}`, episodes)
+	resp, err := http.Post(d1.base+"/v1/jobs", "application/json", bytes.NewReader([]byte(spec)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var submitted struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&submitted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || submitted.ID == "" {
+		t.Fatalf("submit: status %d, id %q", resp.StatusCode, submitted.ID)
+	}
+
+	// Wait until the job is demonstrably mid-run (events journaled), then
+	// pull the plug with no warning whatsoever.
+	deadline := time.Now().Add(time.Minute)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("job never produced events before the kill")
+		}
+		snap := d1.getJob(t, submitted.ID)
+		var n int
+		_ = json.Unmarshal(snap["episodes"], &n)
+		if n >= 20 && n < episodes {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := d1.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = d1.cmd.Process.Wait()
+
+	// Restart over the same datadir: the job must reappear immediately and
+	// re-execute to completion.
+	d2 := startDaemon(t, bin, addr, datadir)
+	var status string
+	deadline = time.Now().Add(3 * time.Minute)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("recovered job stuck in %q", status)
+		}
+		snap := d2.getJob(t, submitted.ID)
+		_ = json.Unmarshal(snap["status"], &status)
+		if status == "succeeded" || status == "failed" || status == "cancelled" {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if status != "succeeded" {
+		t.Fatalf("recovered job finished %q, want succeeded", status)
+	}
+
+	// Bit-identical to the exact same exploration run in-process.
+	want, err := nasaic.Run(context.Background(),
+		nasaic.WithWorkload("W3"),
+		nasaic.WithEpisodes(episodes),
+		nasaic.WithSeed(1),
+		nasaic.WithWorkers(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := d2.getJob(t, submitted.ID)
+	var result nasaic.Result
+	if err := json.Unmarshal(snap["result"], &result); err != nil {
+		t.Fatalf("recovered job has no result: %v", err)
+	}
+	if result.Best == nil || want.Best == nil {
+		t.Fatalf("missing best solution: got %v, want %v", result.Best, want.Best)
+	}
+	if result.Best.Design.String() != want.Best.Design.String() ||
+		result.Best.WeightedAccuracy != want.Best.WeightedAccuracy ||
+		result.Best.LatencyCycles != want.Best.LatencyCycles ||
+		result.Best.EnergyNJ != want.Best.EnergyNJ ||
+		result.Best.AreaUM2 != want.Best.AreaUM2 {
+		t.Fatalf("re-executed result diverged from direct run:\n%+v\nvs\n%+v", result.Best, want.Best)
+	}
+	if len(result.Explored) != len(want.Explored) {
+		t.Fatalf("explored %d solutions, want %d", len(result.Explored), len(want.Explored))
+	}
+
+	// SSE replay against the recovered (terminal) job: resume near the tail
+	// and require the remaining episodes plus the done frame.
+	from := episodes - 5
+	req, _ := http.NewRequest(http.MethodGet, d2.base+"/v1/jobs/"+submitted.ID+"/events", nil)
+	req.Header.Set("Last-Event-ID", fmt.Sprint(from-1))
+	sse, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sse.Body.Close()
+	r := bufio.NewReader(sse.Body)
+	var ids []string
+	var events []string
+	cur := ""
+	for len(events) < 7 {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			break
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur = line[len("event: "):]
+		case strings.HasPrefix(line, "id: "):
+			ids = append(ids, line[len("id: "):])
+		case line == "" && cur != "":
+			events = append(events, cur)
+			cur = ""
+		}
+	}
+	if len(events) != 6 {
+		t.Fatalf("SSE replay: %d frames (%v), want 5 episodes + done", len(events), events)
+	}
+	for i := 0; i < 5; i++ {
+		if events[i] != "episode" || ids[i] != fmt.Sprint(from+i) {
+			t.Fatalf("replay frame %d: %s id %s, want episode %d", i, events[i], ids[i], from+i)
+		}
+	}
+	if events[5] != "done" || ids[5] != fmt.Sprint(episodes) {
+		t.Fatalf("terminal frame %s id %s, want done %d", events[5], ids[5], episodes)
+	}
+}

@@ -1,0 +1,67 @@
+package cachefile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"io"
+)
+
+// Record framing shared by the warm-tier snapshots and internal/journal's
+// write-ahead log. One frame is
+//
+//	offset  field
+//	0       payload length, big-endian uint32
+//	4       payload bytes
+//	4+n     CRC64-ECMA over the length field and the payload
+//
+// so a reader walking a byte stream can both delimit records and verify each
+// one independently: a torn tail shows up as io.ErrUnexpectedEOF (the stream
+// ends inside a frame) and a damaged record as ErrCorrupt (checksum or
+// impossible length), letting log recovery truncate at the last valid frame
+// instead of refusing the whole file.
+
+// FrameOverhead is the fixed per-frame cost: the length prefix + the CRC.
+const FrameOverhead = 4 + 8
+
+// MaxFramePayload bounds a single frame. A length prefix beyond it is treated
+// as corruption rather than an instruction to wait for gigabytes that a
+// flipped bit invented.
+const MaxFramePayload = 1 << 28
+
+// AppendFrame appends one framed record to dst and returns the extended
+// slice.
+func AppendFrame(dst, payload []byte) []byte {
+	start := len(dst)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = append(dst, payload...)
+	return binary.BigEndian.AppendUint64(dst, Checksum(dst[start:]))
+}
+
+// SplitFrame splits the first frame off data, returning its payload and the
+// remaining bytes. An incomplete frame (the stream ends mid-record) returns
+// io.ErrUnexpectedEOF; an impossible length or a checksum mismatch returns
+// ErrCorrupt. The returned payload aliases data.
+func SplitFrame(data []byte) (payload, rest []byte, err error) {
+	if len(data) < 4 {
+		return nil, nil, io.ErrUnexpectedEOF
+	}
+	n := binary.BigEndian.Uint32(data)
+	if n > MaxFramePayload {
+		return nil, nil, fmt.Errorf("%w: frame length %d exceeds the %d-byte bound", ErrCorrupt, n, MaxFramePayload)
+	}
+	total := 4 + int(n) + 8
+	if len(data) < total {
+		return nil, nil, io.ErrUnexpectedEOF
+	}
+	body, sum := data[:4+n], binary.BigEndian.Uint64(data[4+n:total])
+	if got := Checksum(body); got != sum {
+		return nil, nil, fmt.Errorf("%w: frame checksum mismatch (stored %016x, computed %016x)", ErrCorrupt, sum, got)
+	}
+	return body[4:], data[total:], nil
+}
+
+// Checksum is the CRC64-ECMA used by every cachefile container and frame.
+func Checksum(b []byte) uint64 {
+	return crc64.Checksum(b, crcTable)
+}

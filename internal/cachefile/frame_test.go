@@ -1,0 +1,91 @@
+package cachefile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		nil,
+		{},
+		[]byte("x"),
+		[]byte("hello framing"),
+		bytes.Repeat([]byte{0xAB}, 4096),
+	}
+	var stream []byte
+	for _, p := range payloads {
+		stream = AppendFrame(stream, p)
+	}
+	rest := stream
+	for i, want := range payloads {
+		var got []byte
+		var err error
+		got, rest, err = SplitFrame(rest)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: payload %q, want %q", i, got, want)
+		}
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes after the last frame", len(rest))
+	}
+}
+
+func TestFrameTornTailIsUnexpectedEOF(t *testing.T) {
+	full := AppendFrame(nil, []byte("one full record"))
+	for cut := 1; cut < len(full); cut++ {
+		if _, _, err := SplitFrame(full[:len(full)-cut]); !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut %d bytes: err = %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+	if _, _, err := SplitFrame(nil); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("empty stream: err = %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestFrameBitFlipIsCorrupt(t *testing.T) {
+	frame := AppendFrame(nil, []byte("guarded payload"))
+	// Flip one bit in every byte position (length, payload and CRC).
+	for i := range frame {
+		mut := append([]byte(nil), frame...)
+		mut[i] ^= 0x01
+		_, _, err := SplitFrame(mut)
+		if err == nil {
+			t.Fatalf("bit flip at byte %d accepted", i)
+		}
+		if !errors.Is(err, ErrCorrupt) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("bit flip at byte %d: unexpected error %v", i, err)
+		}
+	}
+}
+
+func TestFrameAbsurdLengthIsCorrupt(t *testing.T) {
+	var buf []byte
+	buf = binary.BigEndian.AppendUint32(buf, MaxFramePayload+1)
+	buf = append(buf, make([]byte, 64)...)
+	if _, _, err := SplitFrame(buf); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("absurd length: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestFrameSecondRecordSurvivesFirstIntact(t *testing.T) {
+	stream := AppendFrame(nil, []byte("first"))
+	stream = AppendFrame(stream, []byte("second"))
+	p1, rest, err := SplitFrame(stream)
+	if err != nil || string(p1) != "first" {
+		t.Fatalf("first: %q, %v", p1, err)
+	}
+	// Corrupt the second frame; the first must still have parsed cleanly and
+	// the error surfaces only at the damaged record.
+	rest = append([]byte(nil), rest...)
+	rest[len(rest)-1] ^= 0xFF
+	if _, _, err := SplitFrame(rest); err == nil {
+		t.Fatal("corrupted second frame accepted")
+	}
+}

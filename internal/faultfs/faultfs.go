@@ -1,0 +1,376 @@
+// Package faultfs is the filesystem seam under internal/journal: a minimal
+// FS/File interface with two implementations — OS, a passthrough to the real
+// filesystem, and Mem, an in-memory filesystem with precise fault injection
+// (fail the Nth write, short writes, fsync errors) and crash-point simulation
+// (a crash discards everything not yet fsynced, optionally keeping a torn
+// prefix of the in-flight write, exactly like a lost page cache).
+//
+// The journal's durability claims are only as honest as the failures they
+// were tested against; Mem lets the crash-point matrix in internal/journal
+// kill and recover the log at every record boundary without touching a disk.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FS is the set of filesystem operations the journal needs. Paths use the
+// host separator conventions (callers build them with path/filepath).
+type FS interface {
+	// MkdirAll creates the directory and any missing parents.
+	MkdirAll(path string) error
+	// ReadDir lists the names (not full paths) of the directory's entries,
+	// sorted ascending. A missing directory returns an error satisfying
+	// os.IsNotExist.
+	ReadDir(path string) ([]string, error)
+	// ReadFile returns the file's full contents.
+	ReadFile(path string) ([]byte, error)
+	// OpenAppend opens the file for appending, creating it when absent.
+	OpenAppend(path string) (File, error)
+	// Truncate cuts the file to size bytes.
+	Truncate(path string, size int64) error
+	// Remove deletes the file.
+	Remove(path string) error
+}
+
+// File is an append-only handle.
+type File interface {
+	io.Writer
+	// Sync makes every byte written so far durable.
+	Sync() error
+	io.Closer
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(path string) error { return os.MkdirAll(path, 0o755) }
+
+func (osFS) ReadDir(path string) ([]string, error) {
+	ents, err := os.ReadDir(path)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names, nil
+}
+
+func (osFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (osFS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (osFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+func (osFS) Remove(path string) error { return os.Remove(path) }
+
+// Injected fault errors.
+var (
+	// ErrInjectedWrite is returned by a write the Faults configuration failed.
+	ErrInjectedWrite = errors.New("faultfs: injected write failure")
+	// ErrInjectedSync is returned by an fsync the Faults configuration failed.
+	ErrInjectedSync = errors.New("faultfs: injected fsync failure")
+	// ErrCrashed is returned by every operation after a simulated crash until
+	// Reboot is called.
+	ErrCrashed = errors.New("faultfs: simulated crash")
+)
+
+// Faults configures injection points. Counters are 1-based over the whole
+// filesystem (the Nth write anywhere), matching how a crash-point matrix
+// sweeps a workload; zero disables that injection.
+type Faults struct {
+	// FailWriteAt makes the Nth write return ErrInjectedWrite without
+	// writing anything.
+	FailWriteAt int
+	// ShortWriteAt makes the Nth write persist only the first half of its
+	// buffer and then return ErrInjectedWrite (a torn write the caller is
+	// told about).
+	ShortWriteAt int
+	// FailSyncAt makes the Nth fsync return ErrInjectedSync without marking
+	// anything durable.
+	FailSyncAt int
+	// CrashAtWrite simulates a crash at the Nth write: the filesystem drops
+	// every byte not yet fsynced, keeps the first CrashKeepBytes bytes of
+	// the in-flight write (a torn tail the application never learned about),
+	// and fails every operation with ErrCrashed until Reboot.
+	CrashAtWrite int
+	// CrashKeepBytes is how much of the crashing write lands anyway.
+	CrashKeepBytes int
+}
+
+// Mem is an in-memory FS with fault injection. The zero value is unusable;
+// construct with NewMem. All methods are safe for concurrent use.
+type Mem struct {
+	mu       sync.Mutex
+	files    map[string]*memFile
+	dirs     map[string]bool
+	faults   Faults
+	writeOps int
+	syncOps  int
+	crashed  bool
+}
+
+type memFile struct {
+	data   []byte
+	synced int // bytes guaranteed to survive a crash
+}
+
+// NewMem builds an empty in-memory filesystem with the given faults armed.
+func NewMem(f Faults) *Mem {
+	return &Mem{
+		files:  make(map[string]*memFile),
+		dirs:   make(map[string]bool),
+		faults: f,
+	}
+}
+
+// SetFaults rearms the injection counters (existing op counts keep running).
+func (m *Mem) SetFaults(f Faults) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.faults = f
+}
+
+// WriteOps reports the number of write calls observed so far; a clean run's
+// count is the sweep bound of a crash-point matrix.
+func (m *Mem) WriteOps() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.writeOps
+}
+
+// Crash simulates a power loss now: unsynced bytes vanish and every
+// subsequent operation fails with ErrCrashed until Reboot.
+func (m *Mem) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.crashLocked(nil, nil)
+}
+
+// Crashed reports whether the filesystem is down.
+func (m *Mem) Crashed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.crashed
+}
+
+// Reboot brings a crashed filesystem back up with only its durable contents.
+func (m *Mem) Reboot() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.crashed = false
+}
+
+// crashLocked drops unsynced data; keep (if non-nil) is a torn fragment of
+// the in-flight write appended to file f's durable prefix.
+func (m *Mem) crashLocked(f *memFile, keep []byte) {
+	for _, mf := range m.files {
+		mf.data = mf.data[:mf.synced]
+	}
+	if f != nil && len(keep) > 0 {
+		f.data = append(f.data, keep...)
+	}
+	m.crashed = true
+}
+
+func (m *Mem) MkdirAll(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	for p := filepath.Clean(path); p != "." && p != string(filepath.Separator); p = filepath.Dir(p) {
+		m.dirs[p] = true
+	}
+	return nil
+}
+
+func (m *Mem) ReadDir(path string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, ErrCrashed
+	}
+	dir := filepath.Clean(path)
+	if !m.dirs[dir] {
+		return nil, &os.PathError{Op: "readdir", Path: path, Err: os.ErrNotExist}
+	}
+	var names []string
+	for p := range m.files {
+		if filepath.Dir(p) == dir {
+			names = append(names, filepath.Base(p))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (m *Mem) ReadFile(path string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, ErrCrashed
+	}
+	f, ok := m.files[filepath.Clean(path)]
+	if !ok {
+		return nil, &os.PathError{Op: "read", Path: path, Err: os.ErrNotExist}
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+func (m *Mem) OpenAppend(path string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, ErrCrashed
+	}
+	p := filepath.Clean(path)
+	f, ok := m.files[p]
+	if !ok {
+		f = &memFile{}
+		m.files[p] = f
+		m.dirs[filepath.Dir(p)] = true
+	}
+	return &memHandle{fs: m, f: f, path: p}, nil
+}
+
+func (m *Mem) Truncate(path string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	f, ok := m.files[filepath.Clean(path)]
+	if !ok {
+		return &os.PathError{Op: "truncate", Path: path, Err: os.ErrNotExist}
+	}
+	if int(size) < len(f.data) {
+		f.data = f.data[:size]
+	} else {
+		f.data = append(f.data, make([]byte, int(size)-len(f.data))...)
+	}
+	if f.synced > len(f.data) {
+		f.synced = len(f.data)
+	}
+	return nil
+}
+
+func (m *Mem) Remove(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	p := filepath.Clean(path)
+	if _, ok := m.files[p]; !ok {
+		return &os.PathError{Op: "remove", Path: path, Err: os.ErrNotExist}
+	}
+	delete(m.files, p)
+	return nil
+}
+
+// memHandle is an append handle into one Mem file.
+type memHandle struct {
+	fs     *Mem
+	f      *memFile
+	path   string
+	closed bool
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	m := h.fs
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return 0, ErrCrashed
+	}
+	if h.closed {
+		return 0, fmt.Errorf("faultfs: write to closed file %s", h.path)
+	}
+	m.writeOps++
+	switch m.writeOps {
+	case m.faults.FailWriteAt:
+		return 0, fmt.Errorf("%w (write #%d, %s)", ErrInjectedWrite, m.writeOps, h.path)
+	case m.faults.ShortWriteAt:
+		n := len(p) / 2
+		h.f.data = append(h.f.data, p[:n]...)
+		return n, fmt.Errorf("%w: short write %d of %d bytes (write #%d, %s)",
+			ErrInjectedWrite, n, len(p), m.writeOps, h.path)
+	case m.faults.CrashAtWrite:
+		keep := m.faults.CrashKeepBytes
+		if keep > len(p) {
+			keep = len(p)
+		}
+		m.crashLocked(h.f, p[:keep])
+		return 0, ErrCrashed
+	}
+	h.f.data = append(h.f.data, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	m := h.fs
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	if h.closed {
+		return fmt.Errorf("faultfs: sync of closed file %s", h.path)
+	}
+	m.syncOps++
+	if m.syncOps == m.faults.FailSyncAt {
+		return fmt.Errorf("%w (fsync #%d, %s)", ErrInjectedSync, m.syncOps, h.path)
+	}
+	h.f.synced = len(h.f.data)
+	return nil
+}
+
+func (h *memHandle) Close() error {
+	m := h.fs
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h.closed = true
+	return nil
+}
+
+// DurableBytes reports how many bytes of path would survive a crash right
+// now (synced prefix length); testing helper.
+func (m *Mem) DurableBytes(path string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f, ok := m.files[filepath.Clean(path)]; ok {
+		return f.synced
+	}
+	return 0
+}
+
+// Dump renders the filesystem state for test failure messages.
+func (m *Mem) Dump() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var b strings.Builder
+	var paths []string
+	for p := range m.files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		f := m.files[p]
+		fmt.Fprintf(&b, "%s: %d bytes (%d synced)\n", p, len(f.data), f.synced)
+	}
+	return b.String()
+}

@@ -1,0 +1,182 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestMemBasicReadWrite(t *testing.T) {
+	m := NewMem(Faults{})
+	dir := filepath.Join("data", "journal")
+	if err := m.MkdirAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "seg-1.wal")
+	f, err := m.OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadFile(path)
+	if err != nil || string(got) != "hello world" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	names, err := m.ReadDir(dir)
+	if err != nil || len(names) != 1 || names[0] != "seg-1.wal" {
+		t.Fatalf("ReadDir = %v, %v", names, err)
+	}
+	if _, err := m.ReadDir("nope"); !os.IsNotExist(err) {
+		t.Fatalf("missing dir: err = %v, want not-exist", err)
+	}
+	if _, err := m.ReadFile(filepath.Join(dir, "missing")); !os.IsNotExist(err) {
+		t.Fatalf("missing file: err = %v, want not-exist", err)
+	}
+	if err := m.Truncate(path, 5); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = m.ReadFile(path)
+	if string(got) != "hello" {
+		t.Fatalf("after truncate: %q", got)
+	}
+	if err := m.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ReadFile(path); !os.IsNotExist(err) {
+		t.Fatalf("removed file readable: %v", err)
+	}
+}
+
+func TestMemCrashDropsUnsyncedBytes(t *testing.T) {
+	m := NewMem(Faults{})
+	_ = m.MkdirAll("d")
+	f, _ := m.OpenAppend("d/f")
+	_, _ = f.Write([]byte("durable"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = f.Write([]byte(" volatile"))
+	m.Crash()
+	if !m.Crashed() {
+		t.Fatal("not crashed")
+	}
+	if _, err := m.ReadFile("d/f"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("read while crashed: %v", err)
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write while crashed: %v", err)
+	}
+	m.Reboot()
+	got, err := m.ReadFile("d/f")
+	if err != nil || string(got) != "durable" {
+		t.Fatalf("after reboot: %q, %v (want only the synced prefix)", got, err)
+	}
+}
+
+func TestMemCrashAtWriteKeepsTornPrefix(t *testing.T) {
+	m := NewMem(Faults{CrashAtWrite: 2, CrashKeepBytes: 3})
+	_ = m.MkdirAll("d")
+	f, _ := m.OpenAppend("d/f")
+	if _, err := f.Write([]byte("AAAA")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("BBBBBB")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crashing write: err = %v, want ErrCrashed", err)
+	}
+	m.Reboot()
+	got, err := m.ReadFile("d/f")
+	if err != nil || string(got) != "AAAABBB" {
+		t.Fatalf("after reboot: %q, %v (want synced prefix + 3 torn bytes)", got, err)
+	}
+}
+
+func TestMemInjectedWriteAndSyncFaults(t *testing.T) {
+	m := NewMem(Faults{FailWriteAt: 2, ShortWriteAt: 3, FailSyncAt: 2})
+	_ = m.MkdirAll("d")
+	f, _ := m.OpenAppend("d/f")
+
+	if _, err := f.Write([]byte("ok")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if _, err := f.Write([]byte("fails")); !errors.Is(err, ErrInjectedWrite) {
+		t.Fatalf("write 2: err = %v, want ErrInjectedWrite", err)
+	}
+	n, err := f.Write([]byte("shorted!"))
+	if !errors.Is(err, ErrInjectedWrite) || n != 4 {
+		t.Fatalf("write 3: n=%d err=%v, want torn half + ErrInjectedWrite", n, err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 1: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjectedSync) {
+		t.Fatalf("sync 2: err = %v, want ErrInjectedSync", err)
+	}
+	got, _ := m.ReadFile("d/f")
+	if string(got) != "okshor" {
+		t.Fatalf("contents %q, want the successful write + the torn half", got)
+	}
+	if m.WriteOps() != 3 {
+		t.Fatalf("WriteOps = %d, want 3", m.WriteOps())
+	}
+}
+
+// The OS implementation is a thin passthrough; one round-trip keeps it
+// honest without faulting the real disk.
+func TestOSRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested")
+	if err := OS.MkdirAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "f.wal")
+	f, err := OS.OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Append handles append even across truncation.
+	if err := OS.Truncate(path, 3); err != nil {
+		t.Fatal(err)
+	}
+	f, err = OS.OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("XYZ")); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+	got, err := OS.ReadFile(path)
+	if err != nil || string(got) != "abcXYZ" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	names, err := OS.ReadDir(dir)
+	if err != nil || len(names) != 1 {
+		t.Fatalf("ReadDir = %v, %v", names, err)
+	}
+	if err := OS.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -7,6 +7,9 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
 
 	"nasaic/pkg/nasaic"
 )
@@ -28,8 +31,49 @@ import (
 // replay, so slow clients see the gap instead of a silent snap-forward. The
 // done frame's id is the job's total episode count — stable across
 // reconnects, unlike a live sequence number.
+//
+// Streams are defended in both directions: an idle stream (a pending job, a
+// quiet phase) carries SSE comment heartbeats so proxies and clients can
+// tell a live connection from a dead one, and every write runs under a
+// deadline so a stalled reader (full TCP buffers, a wedged client) tears the
+// stream down instead of pinning the handler goroutine forever.
 func NewHandler(m *Manager) http.Handler {
-	s := &server{m: m}
+	return newServer(m, handlerConfig{}).handler()
+}
+
+// handlerConfig tunes the SSE defenses; zero values select production
+// defaults (tests shrink them to force timeouts quickly).
+type handlerConfig struct {
+	// heartbeat is the idle interval between SSE comment frames. <=0
+	// selects 15s.
+	heartbeat time.Duration
+	// writeTimeout is the per-write deadline on the stream; a reader that
+	// cannot drain a write within it is disconnected. <=0 selects 30s.
+	writeTimeout time.Duration
+	// hbPad pads heartbeat comments to this many bytes (test-only: filling
+	// kernel socket buffers with tiny comments would take far too long).
+	hbPad int
+}
+
+func (c handlerConfig) heartbeatInterval() time.Duration {
+	if c.heartbeat > 0 {
+		return c.heartbeat
+	}
+	return 15 * time.Second
+}
+
+func (c handlerConfig) writeDeadline() time.Duration {
+	if c.writeTimeout > 0 {
+		return c.writeTimeout
+	}
+	return 30 * time.Second
+}
+
+func newServer(m *Manager, cfg handlerConfig) *server {
+	return &server{m: m, cfg: cfg}
+}
+
+func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.submit)
 	mux.HandleFunc("GET /v1/jobs", s.list)
@@ -43,7 +87,11 @@ func NewHandler(m *Manager) http.Handler {
 }
 
 type server struct {
-	m *Manager
+	m   *Manager
+	cfg handlerConfig
+	// streams counts the live SSE handlers — the observable that proves a
+	// stalled reader was actually torn down rather than leaked.
+	streams atomic.Int64
 }
 
 // apiError is the JSON error envelope.
@@ -139,9 +187,19 @@ func (s *server) events(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
 		return
 	}
+	s.streams.Add(1)
+	defer s.streams.Add(-1)
+	// Every write on the stream runs under its own deadline: a reader that
+	// stops draining (wedged client, full socket buffers) fails the write
+	// instead of blocking this goroutine for the job's lifetime. Deadline
+	// support depends on the server; SetWriteDeadline errors are ignored and
+	// leave the seed behavior (no deadline).
+	rc := http.NewResponseController(w)
+	armWrite := func() { _ = rc.SetWriteDeadline(time.Now().Add(s.cfg.writeDeadline())) }
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("Connection", "keep-alive")
+	armWrite()
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
 
@@ -162,6 +220,7 @@ func (s *server) events(w http.ResponseWriter, r *http.Request) {
 	// so a client that reconnects with it resumes exactly at the announced
 	// first retained event.
 	emit := func(evs []nasaic.Event, seq int) bool {
+		armWrite()
 		if seq > from {
 			if err := writeSSE(w, "reset", seq-1, resetFrame{FirstSeq: seq, Missed: seq - from}); err != nil {
 				return false
@@ -177,6 +236,16 @@ func (s *server) events(w http.ResponseWriter, r *http.Request) {
 			from = seq + len(evs)
 		}
 		return true
+	}
+	// Idle heartbeats: SSE comment frames that cross the wire but never
+	// reach the client's event handlers. They keep intermediaries from
+	// reaping a quiet stream as dead, and — combined with the write deadline
+	// — actively probe for readers that went away without closing.
+	heartbeat := time.NewTicker(s.cfg.heartbeatInterval())
+	defer heartbeat.Stop()
+	pad := ""
+	if s.cfg.hbPad > 0 {
+		pad = strings.Repeat("x", s.cfg.hbPad)
 	}
 	for {
 		evs, seq, changed := j.Events(from)
@@ -196,12 +265,19 @@ func (s *server) events(w http.ResponseWriter, r *http.Request) {
 				}
 				snap = j.Snapshot()
 			}
+			armWrite()
 			_ = writeSSE(w, "done", snap.Episodes, snap)
 			flusher.Flush()
 			return
 		}
 		select {
 		case <-changed:
+		case <-heartbeat.C:
+			armWrite()
+			if _, err := fmt.Fprintf(w, ": hb%s\n\n", pad); err != nil {
+				return
+			}
+			flusher.Flush()
 		case <-ctx.Done():
 			return
 		}
@@ -228,9 +304,8 @@ func writeSSE(w http.ResponseWriter, event string, id int, v any) error {
 }
 
 // DecodeEvent parses one SSE `data:` payload back into an Event (client
-// helper shared by tests and examples).
+// helper shared by tests and examples). It is nasaic.DecodeEvent — the SSE
+// payload is the same canonical encoding the durable journal stores.
 func DecodeEvent(data []byte) (nasaic.Event, error) {
-	var e nasaic.Event
-	err := json.Unmarshal(data, &e)
-	return e, err
+	return nasaic.DecodeEvent(data)
 }

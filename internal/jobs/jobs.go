@@ -7,11 +7,15 @@ package jobs
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
+	"nasaic/internal/faultfs"
+	"nasaic/internal/journal"
 	"nasaic/pkg/nasaic"
 )
 
@@ -109,6 +113,26 @@ type Options struct {
 	// snapshotted by FlushCaches (periodic, via cmd/nasaicd) and on Close.
 	// Empty keeps the warm tier off.
 	CacheDir string
+	// DataDir enables the durable job journal under DataDir/journal: every
+	// submission, state transition and episode event is fsynced to a
+	// write-ahead log before it becomes observable over HTTP, and a new
+	// manager over the same directory restores terminal jobs (full event
+	// rings included, so SSE Last-Event-ID replay spans restarts) and
+	// re-executes the jobs that were pending or running when the process
+	// died — the seeded determinism suite guarantees the re-run converges to
+	// the bit-identical result, re-emitting events under their journaled
+	// sequence numbers. Empty keeps the manager memory-only (the seed
+	// behavior). Journal damage (torn tails, bit flips, version skew) is
+	// truncated away at startup, never a refusal to start; if the journal
+	// cannot be opened at all the manager degrades to memory-only and says
+	// so through Logf.
+	DataDir string
+	// FS overrides the filesystem the journal writes through (fault
+	// injection in tests). Nil selects the real one.
+	FS faultfs.FS
+	// Logf receives durability degradation warnings (journal append
+	// failures, recovery repairs). Nil discards them.
+	Logf func(format string, args ...any)
 }
 
 func (o Options) maxConcurrent() int {
@@ -132,6 +156,13 @@ func (o Options) eventBuffer() int {
 	return 4096
 }
 
+func (o Options) logf() func(string, ...any) {
+	if o.Logf != nil {
+		return o.Logf
+	}
+	return func(string, ...any) {}
+}
+
 // ErrClosed is returned by Submit after the manager shut down.
 var ErrClosed = errors.New("jobs: manager closed")
 
@@ -147,6 +178,8 @@ var ErrNotFound = errors.New("jobs: job not found")
 type Manager struct {
 	opts   Options
 	shared *nasaic.SharedMemos
+	jn     *journal.Journal
+	logf   func(string, ...any)
 	ctx    context.Context
 	cancel context.CancelFunc
 	sem    chan struct{}
@@ -160,11 +193,17 @@ type Manager struct {
 	order   []string // submission order, for listing and history eviction
 }
 
-// NewManager builds a manager; Close releases it.
+// NewManager builds a manager; Close releases it. With Options.DataDir set
+// it opens (or recovers) the durable journal first: terminal jobs reappear
+// in the history with their event rings, and interrupted jobs are
+// re-executed from their journaled specs. Recovery never fails construction
+// — journal damage truncates away, and an unopenable journal degrades to a
+// memory-only manager (reported through Options.Logf).
 func NewManager(opts Options) *Manager {
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		opts:   opts,
+		logf:   opts.logf(),
 		ctx:    ctx,
 		cancel: cancel,
 		sem:    make(chan struct{}, opts.maxConcurrent()),
@@ -178,7 +217,88 @@ func NewManager(opts Options) *Manager {
 			m.shared.LoadDir(opts.CacheDir)
 		}
 	}
+	if opts.DataDir != "" {
+		jn, err := journal.Open(filepath.Join(opts.DataDir, "journal"), journal.Options{
+			FS:       opts.FS,
+			EventCap: opts.eventBuffer(),
+		})
+		if err != nil {
+			m.logf("jobs: journal disabled, jobs will not survive restarts: %v", err)
+		} else {
+			m.jn = jn
+			if rec := jn.Recovery(); rec.TruncatedBytes > 0 || rec.SkippedSegments > 0 {
+				m.logf("jobs: journal recovery repaired damage: truncated %d bytes, skipped %d segments (%d records kept)",
+					rec.TruncatedBytes, rec.SkippedSegments, rec.Records)
+			}
+			m.recover(jn.States())
+		}
+	}
 	return m
+}
+
+// recover rebuilds the job set from the journal's reduced states:
+// terminal jobs go straight into history, jobs with a journaled cancel
+// request but no terminal record settle as cancelled, and everything else
+// re-executes from its spec (determinism makes the re-run bit-identical,
+// re-emitting its events under the already-journaled sequence numbers).
+func (m *Manager) recover(states []*journal.JobState) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, st := range states {
+		var n int
+		if _, err := fmt.Sscanf(st.ID, "job-%d", &n); err == nil && n > m.seq {
+			m.seq = n // later submissions continue the journaled ID sequence
+		}
+		var spec Spec
+		if err := json.Unmarshal(st.Spec, &spec); err != nil {
+			m.logf("jobs: recovery: dropping job %s (undecodable spec: %v)", st.ID, err)
+			continue
+		}
+		j := &Job{
+			ID:      st.ID,
+			Spec:    spec,
+			created: orNow(st.Created),
+			maxEv:   m.opts.eventBuffer(),
+			changed: make(chan struct{}),
+			jn:      m.jn,
+			logf:    m.logf,
+		}
+		switch {
+		case st.Terminal():
+			j.restoreTerminal(st, Status(st.Status))
+		case st.CancelRequested:
+			// Cancelled mid-run, killed before the terminal record landed:
+			// honour the cancel rather than re-executing to completion, and
+			// journal the settlement so the next recovery is direct.
+			j.restoreTerminal(st, StatusCancelled)
+			j.journal(journal.Record{
+				Type:   journal.TypeFinished,
+				Job:    j.ID,
+				Time:   j.finished,
+				Status: string(StatusCancelled),
+				Error:  j.err.Error(),
+			})
+		default:
+			// Pending or running at crash time: re-execute from the spec.
+			jctx, jcancel := context.WithCancel(m.ctx)
+			j.status = StatusPending
+			j.cancel = jcancel
+			m.pending++
+			m.wg.Add(1)
+			go m.run(j, jctx)
+		}
+		m.jobs[st.ID] = j
+		m.order = append(m.order, st.ID)
+	}
+	m.evictLocked()
+}
+
+// orNow guards restored timestamps against zero values from older records.
+func orNow(t time.Time) time.Time {
+	if t.IsZero() {
+		return time.Now()
+	}
+	return t
 }
 
 // Submit validates the spec, registers a pending job and starts it as soon
@@ -210,6 +330,20 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 		maxEv:   m.opts.eventBuffer(),
 		changed: make(chan struct{}),
 		cancel:  jcancel,
+		jn:      m.jn,
+		logf:    m.logf,
+	}
+	// The submission is journaled (and fsynced) before the job becomes
+	// observable: once a client holds the job ID, a crash cannot forget it.
+	if m.jn != nil {
+		if specJSON, err := json.Marshal(spec); err == nil {
+			j.journal(journal.Record{
+				Type: journal.TypeSubmitted,
+				Job:  id,
+				Time: j.created,
+				Spec: specJSON,
+			})
+		}
 	}
 	m.jobs[id] = j
 	m.order = append(m.order, id)
@@ -272,10 +406,16 @@ func (m *Manager) Get(id string) (*Job, error) {
 
 // Cancel requests cancellation of the job with the given ID. Cancelling a
 // terminal job is a no-op; the returned job reflects the state at call time.
+// The request is journaled before it takes effect, so a crash between the
+// cancel and the terminal record still settles the job as cancelled on
+// recovery instead of re-executing it to completion.
 func (m *Manager) Cancel(id string) (*Job, error) {
 	j, err := m.Get(id)
 	if err != nil {
 		return nil, err
+	}
+	if !j.Done() {
+		j.journal(journal.Record{Type: journal.TypeCancel, Job: j.ID})
 	}
 	j.cancel()
 	return j, nil
@@ -292,8 +432,11 @@ func (m *Manager) List() []*Job {
 	return out
 }
 
-// Close cancels every job, waits for them to drain, flushes the warm tier
-// and rejects further submissions.
+// Close cancels every job, waits for them to drain, flushes the warm tier,
+// seals the journal and rejects further submissions. Submissions racing
+// Close either complete fully (their job reaches a terminal, journaled
+// state before Close returns) or fail with ErrClosed — never anything in
+// between.
 func (m *Manager) Close() {
 	m.mu.Lock()
 	if m.closed {
@@ -306,6 +449,11 @@ func (m *Manager) Close() {
 	m.cancel()
 	m.wg.Wait()
 	_ = m.FlushCaches()
+	if m.jn != nil {
+		if err := m.jn.Close(); err != nil {
+			m.logf("jobs: journal close: %v", err)
+		}
+	}
 }
 
 // FlushCaches snapshots the shared memo bundle into Options.CacheDir so a
@@ -328,7 +476,9 @@ func (m *Manager) pendingDone() {
 }
 
 // evictLocked drops the oldest terminal jobs beyond the history bound.
-// Non-terminal jobs are never evicted.
+// Non-terminal jobs are never evicted. Evictions are journaled so the
+// journal's state (and the next recovery) stays in step with the history —
+// and so compaction can drop the evicted jobs' records entirely.
 func (m *Manager) evictLocked() {
 	excess := len(m.order) - m.opts.maxHistory()
 	if excess <= 0 {
@@ -337,6 +487,7 @@ func (m *Manager) evictLocked() {
 	kept := m.order[:0]
 	for _, id := range m.order {
 		if excess > 0 && m.jobs[id].Snapshot().Status.Terminal() {
+			m.jobs[id].journal(journal.Record{Type: journal.TypeForget, Job: id})
 			delete(m.jobs, id)
 			excess--
 			continue
@@ -355,6 +506,8 @@ type Job struct {
 	cancel  context.CancelFunc
 	created time.Time
 	maxEv   int
+	jn      *journal.Journal     // nil when the manager is memory-only
+	logf    func(string, ...any) // durability warnings (never nil when jn set)
 
 	mu       sync.Mutex
 	status   Status
@@ -469,10 +622,75 @@ func (j *Job) Wait(ctx context.Context) error {
 	}
 }
 
+// journal appends one record to the durable journal (fsynced before
+// return), so the mutation it describes is on disk before it becomes
+// observable. Append failures degrade durability, never the job: they are
+// reported through logf and the in-memory state proceeds regardless.
+func (j *Job) journal(rec journal.Record) {
+	if j.jn == nil {
+		return
+	}
+	if err := j.jn.Append(rec); err != nil && !errors.Is(err, journal.ErrClosed) {
+		j.logf("jobs: journal append (%s %s): %v", rec.Type, rec.Job, err)
+	}
+}
+
+// restoreTerminal rebuilds a terminal job from its journaled state: event
+// ring (so SSE Last-Event-ID replay spans restarts), timestamps, error and
+// result. Undecodable events truncate the ring at the first bad entry rather
+// than leaving a hole mid-stream.
+func (j *Job) restoreTerminal(st *journal.JobState, status Status) {
+	j.status = status
+	j.cancel = func() {} // nothing to cancel; Close/Cancel stay safe to call
+	j.started = orNow(st.Started)
+	j.finished = orNow(st.Finished)
+	j.firstSeq = st.FirstSeq
+	for _, raw := range st.Events {
+		ev, err := nasaic.DecodeEvent(raw)
+		if err != nil {
+			j.logf("jobs: recovery: job %s: truncating event ring at seq %d (undecodable event: %v)",
+				j.ID, j.firstSeq+len(j.events), err)
+			break
+		}
+		j.events = append(j.events, ev)
+	}
+	if len(j.events) > j.maxEv {
+		drop := len(j.events) - j.maxEv
+		j.events = append(j.events[:0], j.events[drop:]...)
+		j.firstSeq += drop
+	}
+	switch {
+	case status == StatusCancelled:
+		j.err = context.Canceled
+	case st.Error != "":
+		j.err = errors.New(st.Error)
+	}
+	if len(st.Result) > 0 {
+		var res nasaic.Result
+		if err := json.Unmarshal(st.Result, &res); err != nil {
+			j.logf("jobs: recovery: job %s: dropping undecodable result: %v", j.ID, err)
+		} else {
+			j.result = &res
+		}
+	}
+}
+
 // appendEvent records one episode event, dropping the oldest past the ring
-// bound, and wakes subscribers.
+// bound, and wakes subscribers. The event journals (canonical encoding,
+// shared with the SSE wire format) before any subscriber can observe it.
 func (j *Job) appendEvent(e nasaic.Event) {
 	j.mu.Lock()
+	seq := j.firstSeq + len(j.events)
+	if j.jn != nil {
+		if raw, err := nasaic.EncodeEvent(e); err == nil {
+			j.journal(journal.Record{
+				Type:  journal.TypeEvent,
+				Job:   j.ID,
+				Seq:   seq,
+				Event: raw,
+			})
+		}
+	}
 	j.events = append(j.events, e)
 	if len(j.events) > j.maxEv {
 		drop := len(j.events) - j.maxEv
@@ -487,6 +705,7 @@ func (j *Job) setRunning() {
 	j.mu.Lock()
 	j.status = StatusRunning
 	j.started = time.Now()
+	j.journal(journal.Record{Type: journal.TypeRunning, Job: j.ID, Time: j.started})
 	j.notifyLocked()
 	j.mu.Unlock()
 }
@@ -495,22 +714,41 @@ func (j *Job) setRunning() {
 // StatusCancelled (keeping the partial result); any other error to
 // StatusFailed. The result's engine handle is dropped — retained history
 // must not pin every job's evaluator, caches and controller in memory.
+// The terminal record (status, error, result) journals before the status
+// flips, so a crash after any client saw the job terminal replays it
+// terminal.
 func (j *Job) finish(res *nasaic.Result, err error) {
 	if res != nil {
 		res.DetachEngine()
 	}
-	j.mu.Lock()
-	j.result = res
-	j.err = err
+	status := StatusSucceeded
 	switch {
 	case err == nil:
-		j.status = StatusSucceeded
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-		j.status = StatusCancelled
+		status = StatusCancelled
 	default:
-		j.status = StatusFailed
+		status = StatusFailed
 	}
+	j.mu.Lock()
 	j.finished = time.Now()
+	rec := journal.Record{
+		Type:   journal.TypeFinished,
+		Job:    j.ID,
+		Time:   j.finished,
+		Status: string(status),
+	}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	if j.jn != nil && res != nil {
+		if raw, mErr := json.Marshal(res); mErr == nil {
+			rec.Result = raw
+		}
+	}
+	j.journal(rec)
+	j.result = res
+	j.err = err
+	j.status = status
 	j.notifyLocked()
 	j.mu.Unlock()
 }

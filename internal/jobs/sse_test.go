@@ -1,0 +1,94 @@
+package jobs
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// idleStreamFixture builds a manager whose second job is parked pending
+// (the first holds the only concurrency slot), so its event stream carries
+// no episode traffic — only heartbeats.
+func idleStreamFixture(t *testing.T, cfg handlerConfig) (*server, *httptest.Server, *Job) {
+	t.Helper()
+	m := NewManager(Options{MaxConcurrent: 1})
+	t.Cleanup(m.Close)
+	long, err := m.Submit(quickSpec(100000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, long, time.Minute)
+	idle, err := m.Submit(quickSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(m, cfg)
+	srv := httptest.NewServer(s.handler())
+	t.Cleanup(srv.Close)
+	return s, srv, idle
+}
+
+// TestSSEHeartbeatOnIdleStream pins the liveness signal: a stream with no
+// events must still emit comment frames at the heartbeat interval, so
+// clients and proxies can distinguish a quiet stream from a dead socket.
+func TestSSEHeartbeatOnIdleStream(t *testing.T) {
+	_, srv, idle := idleStreamFixture(t, handlerConfig{heartbeat: 10 * time.Millisecond})
+
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + idle.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	r := bufio.NewReader(resp.Body)
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("stream ended before a heartbeat: %v", err)
+		}
+		if strings.HasPrefix(line, ":") {
+			return // comment frame observed — the stream is provably alive
+		}
+	}
+	t.Fatal("no heartbeat comment within 10s on an idle stream")
+}
+
+// TestSSEStalledReaderDisconnects pins the other direction: a client that
+// connects and then never reads must not pin the handler goroutine forever.
+// The padded heartbeats fill the kernel socket buffers, the per-write
+// deadline fires, and the handler exits — observable as the active-stream
+// count returning to zero while the client socket is still open.
+func TestSSEStalledReaderDisconnects(t *testing.T) {
+	s, srv, idle := idleStreamFixture(t, handlerConfig{
+		heartbeat:    5 * time.Millisecond,
+		writeTimeout: 150 * time.Millisecond,
+		hbPad:        1 << 20, // 1 MiB per heartbeat: buffers fill in a few ticks
+	})
+
+	conn, err := net.Dial("tcp", srv.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "GET /v1/jobs/%s/events HTTP/1.1\r\nHost: stalled\r\n\r\n", idle.ID)
+	// From here on the client reads nothing, ever.
+
+	waitStreams := func(want int64, timeout time.Duration, what string) {
+		t.Helper()
+		deadline := time.Now().Add(timeout)
+		for time.Now().Before(deadline) {
+			if s.streams.Load() == want {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("%s: active streams = %d, want %d", what, s.streams.Load(), want)
+	}
+	waitStreams(1, 5*time.Second, "stream never started")
+	waitStreams(0, 20*time.Second, "stalled reader not torn down")
+}

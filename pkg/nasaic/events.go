@@ -1,0 +1,20 @@
+package nasaic
+
+import "encoding/json"
+
+// EncodeEvent serializes one Event into its canonical JSON wire form — the
+// payload of nasaicd's SSE `episode` frames and of the job journal's event
+// records. DecodeEvent inverts it; the pair is the single
+// encode/decode path shared by the HTTP layer, the durable journal and
+// client helpers, so the wire and on-disk representations can never drift
+// apart.
+func EncodeEvent(e Event) ([]byte, error) {
+	return json.Marshal(e)
+}
+
+// DecodeEvent parses one canonical JSON event payload back into an Event.
+func DecodeEvent(data []byte) (Event, error) {
+	var e Event
+	err := json.Unmarshal(data, &e)
+	return e, err
+}
