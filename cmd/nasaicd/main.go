@@ -7,11 +7,25 @@
 //
 //	nasaicd [-addr :8080] [-max-jobs 2] [-max-pending 0] [-history 64]
 //	        [-sharedmemo] [-cachedir DIR] [-cacheflush 5m] [-datadir DIR]
+//	        [-tenants FILE]
 //
 // With -cachedir the shared evaluation cache and memos persist across
 // restarts: the warm tier is loaded at startup, flushed every -cacheflush
 // interval, and flushed once more at shutdown. -max-pending bounds the jobs
 // queued for a concurrency slot; excess submissions get HTTP 429.
+//
+// With -tenants the daemon is multi-tenant: FILE is a JSON API-key registry
+// ({"tenants":[{"name":"acme","key":"...","max_pending":16,
+// "max_concurrent":2,"max_event_ring":1024,"admin":false}, ...]}) and every
+// /v1 request must carry `Authorization: Bearer <key>` (missing or malformed
+// credentials get 401, unknown keys 403; /healthz stays open). Each tenant
+// sees and cancels only its own jobs (admin tenants see all), its
+// submissions count against its own max_pending/max_concurrent quotas (429
+// with a Retry-After hint when exhausted), and the scheduler round-robins
+// slots across tenants so one tenant's burst cannot starve another. Job
+// ownership is journaled, so with -datadir it survives restarts. Without
+// -tenants every client is the single anonymous tenant (the pre-tenancy
+// behavior).
 //
 // With -datadir the daemon is crash-safe: every submission, state
 // transition and episode event is fsynced to an append-only journal under
@@ -47,6 +61,7 @@ import (
 	"time"
 
 	"nasaic/internal/jobs"
+	"nasaic/internal/tenant"
 )
 
 func main() {
@@ -59,11 +74,21 @@ func main() {
 		cachedir   = flag.String("cachedir", "", "directory for the persistent cache warm tier, loaded at startup and flushed periodically and at shutdown (results are identical either way)")
 		cacheflush = flag.Duration("cacheflush", 5*time.Minute, "interval between periodic warm-tier flushes (with -cachedir)")
 		datadir    = flag.String("datadir", "", "directory for the durable job journal; jobs survive restarts (finished ones are restored, interrupted ones re-executed)")
+		tenantsCfg = flag.String("tenants", "", "JSON API-key registry; turns on Bearer auth, per-tenant quotas and fair scheduling across tenants")
 	)
 	flag.Parse()
 
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "nasaicd: "+format+"\n", args...)
+	}
+	var reg *tenant.Registry
+	if *tenantsCfg != "" {
+		var err error
+		if reg, err = tenant.Load(*tenantsCfg); err != nil {
+			// A bad key file must not silently open the daemon to everyone.
+			fmt.Fprintf(os.Stderr, "nasaicd: -tenants: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	m := jobs.NewManager(jobs.Options{
 		MaxConcurrent: *maxJobs,
@@ -73,10 +98,11 @@ func main() {
 		CacheDir:      *cachedir,
 		DataDir:       *datadir,
 		Logf:          logf,
+		Tenants:       reg,
 	})
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: jobs.NewHandler(m),
+		Handler: jobs.NewAuthHandler(m, reg),
 		// Submissions and polls are quick; the SSE stream manages its own
 		// lifetime, so no global write timeout.
 		ReadHeaderTimeout: 10 * time.Second,
@@ -101,6 +127,9 @@ func main() {
 	}
 	if *datadir != "" {
 		fmt.Printf("nasaicd: durable job journal at %s (jobs survive restarts)\n", *datadir)
+	}
+	if reg != nil {
+		fmt.Printf("nasaicd: multi-tenant auth on (%d tenants: %v)\n", len(reg.Names()), reg.Names())
 	}
 
 	select {

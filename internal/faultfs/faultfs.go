@@ -109,6 +109,11 @@ type Faults struct {
 	CrashAtWrite int
 	// CrashKeepBytes is how much of the crashing write lands anyway.
 	CrashKeepBytes int
+	// SyncGate, when non-nil, stalls every fsync until a token is received
+	// from the channel (close the channel to release all of them). It
+	// simulates a slow or hung disk: tests use it to prove a caller does not
+	// hold application-level locks across an fsync.
+	SyncGate chan struct{}
 }
 
 // Mem is an in-memory FS with fault injection. The zero value is unusable;
@@ -323,6 +328,14 @@ func (h *memHandle) Write(p []byte) (int, error) {
 
 func (h *memHandle) Sync() error {
 	m := h.fs
+	m.mu.Lock()
+	gate := m.faults.SyncGate
+	m.mu.Unlock()
+	if gate != nil {
+		// Block outside the filesystem lock: a stalled disk must not stop
+		// unrelated filesystem operations, only this fsync's caller.
+		<-gate
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.crashed {

@@ -1,6 +1,7 @@
 package jobs
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nasaic/internal/tenant"
 	"nasaic/pkg/nasaic"
 )
 
@@ -37,8 +39,22 @@ import (
 // tell a live connection from a dead one, and every write runs under a
 // deadline so a stalled reader (full TCP buffers, a wedged client) tears the
 // stream down instead of pinning the handler goroutine forever.
+// Every route except /healthz runs behind the tenant auth middleware; with a
+// nil registry (NewHandler, or -tenants unset) authentication is off and
+// every request acts as the anonymous admin tenant.
 func NewHandler(m *Manager) http.Handler {
-	return newServer(m, handlerConfig{}).handler()
+	return NewAuthHandler(m, nil)
+}
+
+// NewAuthHandler is NewHandler with API-key authentication: every /v1 request
+// must carry `Authorization: Bearer <key>` matching a tenant in the registry.
+// A missing or malformed credential is 401 (with a WWW-Authenticate
+// challenge); a well-formed key that matches no tenant is 403. Authenticated
+// requests are scoped to the tenant: it sees, streams and cancels only its
+// own jobs (admin tenants see all), and its submissions count against its
+// quotas. Key comparison is constant-time over the whole registry.
+func NewAuthHandler(m *Manager, reg *tenant.Registry) http.Handler {
+	return newServer(m, reg, handlerConfig{}).handler()
 }
 
 // handlerConfig tunes the SSE defenses; zero values select production
@@ -69,17 +85,19 @@ func (c handlerConfig) writeDeadline() time.Duration {
 	return 30 * time.Second
 }
 
-func newServer(m *Manager, cfg handlerConfig) *server {
-	return &server{m: m, cfg: cfg}
+func newServer(m *Manager, reg *tenant.Registry, cfg handlerConfig) *server {
+	return &server{m: m, reg: reg, cfg: cfg}
 }
 
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.submit)
-	mux.HandleFunc("GET /v1/jobs", s.list)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.get)
-	mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
+	mux.HandleFunc("POST /v1/jobs", s.auth(s.submit))
+	mux.HandleFunc("GET /v1/jobs", s.auth(s.list))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.auth(s.get))
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.auth(s.events))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.auth(s.cancel))
+	// The liveness probe stays unauthenticated: orchestrators must be able
+	// to health-check the daemon without holding a tenant key.
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -88,10 +106,42 @@ func (s *server) handler() http.Handler {
 
 type server struct {
 	m   *Manager
+	reg *tenant.Registry // nil: auth off, everyone is the anonymous admin
 	cfg handlerConfig
 	// streams counts the live SSE handlers — the observable that proves a
 	// stalled reader was actually torn down rather than leaked.
 	streams atomic.Int64
+}
+
+// tenantKey carries the authenticated tenant through the request context.
+type tenantKey struct{}
+
+// auth authenticates the request's bearer key against the registry and
+// stashes the resolved tenant in the context. Missing or malformed
+// credentials are 401 with a WWW-Authenticate challenge; a syntactically
+// fine key that matches no tenant is 403. With a nil registry every request
+// resolves to the anonymous tenant and nothing is rejected.
+func (s *server) auth(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		tn, err := s.reg.Authenticate(tenant.BearerKey(r.Header.Get("Authorization")))
+		if err != nil {
+			if errors.Is(err, tenant.ErrNoKey) {
+				w.Header().Set("WWW-Authenticate", `Bearer realm="nasaicd"`)
+				writeErr(w, http.StatusUnauthorized, err)
+				return
+			}
+			writeErr(w, http.StatusForbidden, err)
+			return
+		}
+		next(w, r.WithContext(context.WithValue(r.Context(), tenantKey{}, tn)))
+	}
+}
+
+// caller returns the request's authenticated tenant (nil only when a route
+// bypassed the auth middleware, which no /v1 route does).
+func caller(r *http.Request) *tenant.Tenant {
+	tn, _ := r.Context().Value(tenantKey{}).(*tenant.Tenant)
+	return tn
 }
 
 // apiError is the JSON error envelope.
@@ -127,7 +177,7 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid job spec: trailing data after JSON body"))
 		return
 	}
-	j, err := s.m.Submit(spec)
+	j, err := s.m.SubmitAs(caller(r), spec)
 	if err != nil {
 		code := http.StatusBadRequest
 		switch {
@@ -135,6 +185,14 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 			code = http.StatusServiceUnavailable
 		case errors.Is(err, ErrTooManyPending):
 			code = http.StatusTooManyRequests
+			var qe *QuotaError
+			if errors.As(err, &qe) && qe.RetryAfter > 0 {
+				secs := int(qe.RetryAfter.Round(time.Second) / time.Second)
+				if secs < 1 {
+					secs = 1
+				}
+				w.Header().Set("Retry-After", strconv.Itoa(secs))
+			}
 		}
 		writeErr(w, code, err)
 		return
@@ -144,7 +202,7 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) list(w http.ResponseWriter, r *http.Request) {
-	jobs := s.m.List()
+	jobs := s.m.ListFor(caller(r))
 	out := make([]Snapshot, 0, len(jobs))
 	for _, j := range jobs {
 		out = append(out, j.Snapshot())
@@ -153,7 +211,7 @@ func (s *server) list(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
-	j, err := s.m.Get(r.PathValue("id"))
+	j, err := s.m.GetFor(caller(r), r.PathValue("id"))
 	if err != nil {
 		writeErr(w, http.StatusNotFound, err)
 		return nil, false
@@ -168,7 +226,7 @@ func (s *server) get(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
-	j, err := s.m.Cancel(r.PathValue("id"))
+	j, err := s.m.CancelFor(caller(r), r.PathValue("id"))
 	if err != nil {
 		writeErr(w, http.StatusNotFound, err)
 		return

@@ -11,11 +11,13 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
 	"nasaic/internal/faultfs"
 	"nasaic/internal/journal"
+	"nasaic/internal/tenant"
 	"nasaic/pkg/nasaic"
 )
 
@@ -133,6 +135,11 @@ type Options struct {
 	// Logf receives durability degradation warnings (journal append
 	// failures, recovery repairs). Nil discards them.
 	Logf func(format string, args ...any)
+	// Tenants is the API-key registry (cmd/nasaicd's -tenants file). The
+	// manager uses it to re-attach recovered jobs to their tenants' current
+	// limits; authentication itself happens in the HTTP layer. Nil means
+	// auth is off and every job belongs to the anonymous tenant.
+	Tenants *tenant.Registry
 }
 
 func (o Options) maxConcurrent() int {
@@ -170,11 +177,56 @@ var ErrClosed = errors.New("jobs: manager closed")
 // already waiting for a concurrency slot.
 var ErrTooManyPending = errors.New("jobs: too many pending jobs")
 
-// ErrNotFound is returned for unknown job IDs.
+// ErrNotFound is returned for unknown job IDs (including IDs the calling
+// tenant is not allowed to see — existence of other tenants' jobs is not
+// leaked).
 var ErrNotFound = errors.New("jobs: job not found")
 
-// Manager owns the job set: submission, bounded execution, streaming and
-// cancellation. All methods are safe for concurrent use.
+// QuotaError is the Submit rejection when a pending-jobs bound is hit —
+// either the caller's per-tenant quota or the manager-wide MaxPending. It
+// matches ErrTooManyPending under errors.Is (the HTTP layer maps both to
+// 429) and carries a Retry-After drain hint.
+type QuotaError struct {
+	// Tenant is the quota owner ("" for the manager-wide bound).
+	Tenant string
+	// Limit is the bound that was hit; Pending the jobs already queued
+	// against it.
+	Limit   int
+	Pending int
+	// RetryAfter is a coarse hint for when a slot may free up (HTTP
+	// Retry-After); it is an estimate, not a promise.
+	RetryAfter time.Duration
+}
+
+func (e *QuotaError) Error() string {
+	if e.Tenant == "" {
+		return fmt.Sprintf("%v (max %d)", ErrTooManyPending, e.Limit)
+	}
+	return fmt.Sprintf("jobs: tenant %q pending quota exhausted (%d/%d)", e.Tenant, e.Pending, e.Limit)
+}
+
+func (e *QuotaError) Is(target error) bool { return target == ErrTooManyPending }
+
+// tenantState is one tenant's slice of the fair-share dispatcher: its FIFO
+// queue of runnable jobs and its pending/running accounting. Guarded by
+// Manager.mu.
+type tenantState struct {
+	tn      *tenant.Tenant // resolved limits; nil means unlimited
+	queue   []*Job         // submission-ordered jobs waiting for a slot
+	pending int            // queued jobs, incl. submissions being journaled
+	running int            // jobs holding a concurrency slot
+}
+
+func (ts *tenantState) maxConcurrent() int {
+	if ts.tn != nil {
+		return ts.tn.Limits.MaxConcurrent
+	}
+	return 0
+}
+
+// Manager owns the job set: submission, fair-share scheduling across
+// tenants, streaming and cancellation. All methods are safe for concurrent
+// use.
 type Manager struct {
 	opts   Options
 	shared *nasaic.SharedMemos
@@ -182,8 +234,11 @@ type Manager struct {
 	logf   func(string, ...any)
 	ctx    context.Context
 	cancel context.CancelFunc
-	sem    chan struct{}
 	wg     sync.WaitGroup
+
+	// testRun, when set (in-package tests only), replaces nasaic.Run for
+	// every job: fairness and soak tests substitute controllable fake work.
+	testRun func(ctx context.Context, j *Job) (*nasaic.Result, error)
 
 	mu      sync.Mutex
 	closed  bool
@@ -191,6 +246,16 @@ type Manager struct {
 	pending int // jobs waiting for a concurrency slot (MaxPending bound)
 	jobs    map[string]*Job
 	order   []string // submission order, for listing and history eviction
+
+	// Fair-share dispatcher state: per-tenant queues, a deterministic
+	// round-robin ring over tenant names (sorted, with a rotating cursor)
+	// and the global running count. One greedy tenant fills only its own
+	// queue; grants cycle across every tenant with runnable work.
+	sched     map[string]*tenantState
+	ring      []string // sorted tenant names
+	lastGrant string   // tenant granted most recently; the next scan starts after it
+	running   int      // jobs holding slots, all tenants
+	grantSeq  int64    // monotone grant counter (fairness observability)
 }
 
 // NewManager builds a manager; Close releases it. With Options.DataDir set
@@ -206,8 +271,8 @@ func NewManager(opts Options) *Manager {
 		logf:   opts.logf(),
 		ctx:    ctx,
 		cancel: cancel,
-		sem:    make(chan struct{}, opts.maxConcurrent()),
 		jobs:   make(map[string]*Job),
+		sched:  make(map[string]*tenantState),
 	}
 	if opts.ShareMemos {
 		m.shared = nasaic.NewSharedMemos()
@@ -241,9 +306,12 @@ func NewManager(opts Options) *Manager {
 // request but no terminal record settle as cancelled, and everything else
 // re-executes from its spec (determinism makes the re-run bit-identical,
 // re-emitting its events under the already-journaled sequence numbers).
+// Every job re-attaches to its journaled tenant — quota accounting and API
+// scoping survive the restart — with pre-tenancy records (no tenant field)
+// mapping to the anonymous tenant. Re-executed jobs bypass the pending
+// quota: they were admitted before the crash and must not be dropped by it.
 func (m *Manager) recover(states []*journal.JobState) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	for _, st := range states {
 		var n int
 		if _, err := fmt.Sscanf(st.ID, "job-%d", &n); err == nil && n > m.seq {
@@ -254,11 +322,17 @@ func (m *Manager) recover(states []*journal.JobState) {
 			m.logf("jobs: recovery: dropping job %s (undecodable spec: %v)", st.ID, err)
 			continue
 		}
+		name := st.Tenant
+		if name == "" {
+			name = tenant.AnonymousName
+		}
+		tn := m.opts.Tenants.ByName(name)
 		j := &Job{
 			ID:      st.ID,
 			Spec:    spec,
+			Tenant:  name,
 			created: orNow(st.Created),
-			maxEv:   m.opts.eventBuffer(),
+			maxEv:   m.eventRingCap(tn),
 			changed: make(chan struct{}),
 			jn:      m.jn,
 			logf:    m.logf,
@@ -279,18 +353,23 @@ func (m *Manager) recover(states []*journal.JobState) {
 				Error:  j.err.Error(),
 			})
 		default:
-			// Pending or running at crash time: re-execute from the spec.
+			// Pending or running at crash time: re-execute from the spec
+			// through the fair dispatcher, under the job's own tenant.
 			jctx, jcancel := context.WithCancel(m.ctx)
 			j.status = StatusPending
 			j.cancel = jcancel
-			m.pending++
+			j.slot = make(chan struct{})
+			m.enqueueLocked(j, tn)
 			m.wg.Add(1)
 			go m.run(j, jctx)
 		}
 		m.jobs[st.ID] = j
 		m.order = append(m.order, st.ID)
 	}
-	m.evictLocked()
+	forgotten := m.evictLocked()
+	m.dispatchLocked()
+	m.mu.Unlock()
+	m.journalForgets(forgotten)
 }
 
 // orNow guards restored timestamps against zero values from older records.
@@ -301,23 +380,67 @@ func orNow(t time.Time) time.Time {
 	return t
 }
 
-// Submit validates the spec, registers a pending job and starts it as soon
-// as a concurrency slot frees up. It returns the job immediately. When
-// Options.MaxPending jobs are already waiting for a slot, it rejects the
-// spec with ErrTooManyPending instead of queueing without bound.
+// orAfter restores a timestamp like orNow and additionally clamps it to
+// floor: old records can carry a zero started/finished alongside a set
+// sibling, and naively restoring each in isolation can order finished
+// before started (or started before created). Recovery enforces
+// created <= started <= finished.
+func orAfter(t, floor time.Time) time.Time {
+	if restored := orNow(t); restored.After(floor) {
+		return restored
+	}
+	return floor
+}
+
+// eventRingCap is the per-job event ring bound: the manager-wide default,
+// lowered (never raised) by the tenant's MaxEventRing memory limit.
+func (m *Manager) eventRingCap(tn *tenant.Tenant) int {
+	cap := m.opts.eventBuffer()
+	if tn != nil && tn.Limits.MaxEventRing > 0 && tn.Limits.MaxEventRing < cap {
+		cap = tn.Limits.MaxEventRing
+	}
+	return cap
+}
+
+// Submit registers a job for the anonymous tenant: the single-tenant entry
+// point used when auth is off (and by pre-tenancy callers).
 func (m *Manager) Submit(spec Spec) (*Job, error) {
+	return m.SubmitAs(m.opts.Tenants.ByName(tenant.AnonymousName), spec)
+}
+
+// SubmitAs validates the spec, registers a pending job owned by the tenant
+// and starts it as soon as the fair-share dispatcher grants it a slot. It
+// returns the job immediately. Submissions beyond Options.MaxPending or the
+// tenant's MaxPending quota are rejected with a QuotaError (ErrTooManyPending
+// under errors.Is; HTTP 429 with a Retry-After hint). A nil tenant is the
+// anonymous tenant.
+func (m *Manager) SubmitAs(tn *tenant.Tenant, spec Spec) (*Job, error) {
 	if _, err := spec.options(); err != nil {
 		return nil, err
 	}
+	if tn == nil {
+		tn = tenant.Anonymous()
+	}
+
+	// Phase 1 (under mu): admission. Check quotas, reserve the pending
+	// accounting and the job ID.
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
 		return nil, ErrClosed
 	}
+	ts := m.tenantStateLocked(tn.Name, tn)
 	if m.opts.MaxPending > 0 && m.pending >= m.opts.MaxPending {
+		qe := &QuotaError{Limit: m.opts.MaxPending, Pending: m.pending, RetryAfter: m.retryAfterLocked(ts)}
 		m.mu.Unlock()
-		return nil, fmt.Errorf("%w (max %d)", ErrTooManyPending, m.opts.MaxPending)
+		return nil, qe
 	}
+	if lim := tn.Limits.MaxPending; lim > 0 && ts.pending >= lim {
+		qe := &QuotaError{Tenant: tn.Name, Limit: lim, Pending: ts.pending, RetryAfter: m.retryAfterLocked(ts)}
+		m.mu.Unlock()
+		return nil, qe
+	}
+	ts.pending++
 	m.pending++
 	m.seq++
 	id := fmt.Sprintf("job-%d", m.seq)
@@ -325,34 +448,195 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 	j := &Job{
 		ID:      id,
 		Spec:    spec,
+		Tenant:  tn.Name,
 		created: time.Now(),
 		status:  StatusPending,
-		maxEv:   m.opts.eventBuffer(),
+		maxEv:   m.eventRingCap(tn),
 		changed: make(chan struct{}),
 		cancel:  jcancel,
+		slot:    make(chan struct{}),
 		jn:      m.jn,
 		logf:    m.logf,
 	}
-	// The submission is journaled (and fsynced) before the job becomes
-	// observable: once a client holds the job ID, a crash cannot forget it.
-	if m.jn != nil {
-		if specJSON, err := json.Marshal(spec); err == nil {
-			j.journal(journal.Record{
-				Type: journal.TypeSubmitted,
-				Job:  id,
-				Time: j.created,
-				Spec: specJSON,
-			})
-		}
-	}
-	m.jobs[id] = j
-	m.order = append(m.order, id)
-	m.evictLocked()
+	// Close must wait for this submission even if it lands between the two
+	// critical sections: Add now (ordered before Close's Wait by mu) so an
+	// accepted job always drains to a terminal state.
 	m.wg.Add(1)
 	m.mu.Unlock()
 
+	// Phase 2 (no locks): durability. The submission is journaled (and
+	// fsynced) before the job becomes observable — once a client holds the
+	// job ID, a crash cannot forget it. The fsync deliberately happens
+	// outside m.mu: a slow disk stalls this submission, never concurrent
+	// Get/List/Cancel traffic.
+	if m.jn != nil {
+		if specJSON, err := jsonMarshal(spec); err != nil {
+			// The job still runs, but a restart would forget it: surface the
+			// durability degradation instead of skipping the journal silently.
+			m.logf("jobs: journal submit %s: encode spec: %v (job will not survive a restart)", id, err)
+		} else {
+			j.journal(journal.Record{
+				Type:   journal.TypeSubmitted,
+				Job:    id,
+				Tenant: tn.Name,
+				Time:   j.created,
+				Spec:   specJSON,
+			})
+		}
+	}
+
+	// Phase 3 (under mu): publication. Register the job, enter it into its
+	// tenant's queue and let the dispatcher hand out any free slots.
+	m.mu.Lock()
+	ts.pending-- // enqueueLocked re-reserves; the phase-1 hold ends here
+	m.pending--
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+	forgotten := m.evictLocked()
+	m.enqueueLocked(j, tn)
+	m.dispatchLocked()
+	m.mu.Unlock()
+
+	m.journalForgets(forgotten)
 	go m.run(j, jctx)
 	return j, nil
+}
+
+// jsonMarshal is json.Marshal, indirected so tests can fault the encoding
+// of a submitted spec (every field of Spec marshals cleanly in practice).
+var jsonMarshal = json.Marshal
+
+// tenantStateLocked returns (creating on demand) the tenant's dispatcher
+// state and keeps the round-robin ring sorted; callers hold m.mu. The
+// resolved tenant limits refresh on every submission, so a reloaded registry
+// (a future -tenants reload) would take effect for new work.
+func (m *Manager) tenantStateLocked(name string, tn *tenant.Tenant) *tenantState {
+	ts, ok := m.sched[name]
+	if !ok {
+		ts = &tenantState{}
+		m.sched[name] = ts
+		i := sort.SearchStrings(m.ring, name)
+		m.ring = append(m.ring, "")
+		copy(m.ring[i+1:], m.ring[i:])
+		m.ring[i] = name
+	}
+	if tn != nil {
+		ts.tn = tn
+	}
+	return ts
+}
+
+// enqueueLocked appends the job to its tenant's runnable queue; callers
+// hold m.mu and call dispatchLocked afterwards.
+func (m *Manager) enqueueLocked(j *Job, tn *tenant.Tenant) {
+	ts := m.tenantStateLocked(j.Tenant, tn)
+	ts.queue = append(ts.queue, j)
+	ts.pending++
+	m.pending++
+	j.queued = true
+}
+
+// ringStartLocked is the ring index the next grant scan starts from: the
+// first tenant sorted after the last-granted name. Anchoring the cursor to a
+// name rather than an index keeps the rotation fair when tenants register
+// mid-stream — a newcomer slots into the cycle exactly where its name sorts,
+// instead of inheriting whatever position the old cursor happened to hold.
+func (m *Manager) ringStartLocked() int {
+	if len(m.ring) == 0 || m.lastGrant == "" {
+		return 0
+	}
+	i := sort.SearchStrings(m.ring, m.lastGrant)
+	if i < len(m.ring) && m.ring[i] == m.lastGrant {
+		i++
+	}
+	return i % len(m.ring)
+}
+
+// dispatchLocked is the fair-share scheduler: while global concurrency
+// slots are free, it scans the tenant ring round-robin — sorted tenant
+// names, starting after the last grant's tenant — and grants one job to the
+// first tenant that has runnable work and headroom under its own
+// MaxConcurrent quota. Tenant order is deterministic so fairness is
+// testable; a tenant with a deep queue gets exactly one grant per ring
+// pass, which bounds any other tenant's wait to one pass.
+func (m *Manager) dispatchLocked() {
+	for m.running < m.opts.maxConcurrent() {
+		granted := false
+		start := m.ringStartLocked()
+		for i := 0; i < len(m.ring); i++ {
+			name := m.ring[(start+i)%len(m.ring)]
+			ts := m.sched[name]
+			if len(ts.queue) == 0 {
+				continue
+			}
+			if lim := ts.maxConcurrent(); lim > 0 && ts.running >= lim {
+				continue
+			}
+			j := ts.queue[0]
+			ts.queue = ts.queue[1:]
+			j.queued = false
+			j.granted = true
+			ts.pending--
+			m.pending--
+			ts.running++
+			m.running++
+			m.grantSeq++
+			j.grant = m.grantSeq
+			m.lastGrant = name
+			close(j.slot)
+			granted = true
+			break
+		}
+		if !granted {
+			return
+		}
+	}
+}
+
+// dequeue removes a job that is abandoning its wait for a slot (cancelled
+// while pending). It reports false when the grant already happened — the
+// caller then owns a running slot and must release it via release.
+func (m *Manager) dequeue(j *Job) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j.granted {
+		return false
+	}
+	ts := m.sched[j.Tenant]
+	for i, q := range ts.queue {
+		if q == j {
+			ts.queue = append(ts.queue[:i], ts.queue[i+1:]...)
+			break
+		}
+	}
+	j.queued = false
+	ts.pending--
+	m.pending--
+	return true
+}
+
+// release returns a finished job's concurrency slot and lets the dispatcher
+// hand it to the next tenant in the ring.
+func (m *Manager) release(j *Job) {
+	m.mu.Lock()
+	m.sched[j.Tenant].running--
+	m.running--
+	m.dispatchLocked()
+	m.mu.Unlock()
+}
+
+// retryAfterLocked estimates when the tenant's next slot could free up: a
+// coarse one-second-per-queued-job-per-slot drain hint for the HTTP
+// Retry-After header. Callers hold m.mu.
+func (m *Manager) retryAfterLocked(ts *tenantState) time.Duration {
+	slots := m.opts.maxConcurrent()
+	if lim := ts.maxConcurrent(); lim > 0 && lim < slots {
+		slots = lim
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	return time.Duration(1+ts.pending/slots) * time.Second
 }
 
 // run executes one job end to end on its own goroutine.
@@ -360,19 +644,27 @@ func (m *Manager) run(j *Job, ctx context.Context) {
 	defer m.wg.Done()
 	defer j.cancel()
 
-	// Wait for a concurrency slot, unless cancelled while pending. Either
-	// way the job stops counting against the MaxPending bound here.
+	// Wait for the dispatcher's grant, unless cancelled while pending.
 	select {
-	case m.sem <- struct{}{}:
-		m.pendingDone()
+	case <-j.slot:
 	case <-ctx.Done():
-		m.pendingDone()
+		if m.dequeue(j) {
+			j.finish(nil, ctx.Err())
+			return
+		}
+		// The grant raced the cancel: the job holds a slot after all. Fall
+		// through to the running path, which sees ctx.Err() and releases it.
+	}
+	defer m.release(j)
+	if ctx.Err() != nil {
 		j.finish(nil, ctx.Err())
 		return
 	}
-	defer func() { <-m.sem }()
-	if ctx.Err() != nil {
-		j.finish(nil, ctx.Err())
+
+	if m.testRun != nil {
+		j.setRunning()
+		res, err := m.testRun(ctx, j)
+		j.finish(res, err)
 		return
 	}
 
@@ -393,12 +685,26 @@ func (m *Manager) run(j *Job, ctx context.Context) {
 	j.finish(res, err)
 }
 
-// Get returns the job with the given ID.
+// Get returns the job with the given ID (the manager's unscoped view).
 func (m *Manager) Get(id string) (*Job, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	j, ok := m.jobs[id]
 	if !ok {
+		return nil, ErrNotFound
+	}
+	return j, nil
+}
+
+// GetFor returns the job with the given ID as seen by the tenant: a job
+// owned by another tenant is ErrNotFound (not 403 — existence is not
+// leaked) unless the caller is an admin. A nil tenant sees everything.
+func (m *Manager) GetFor(tn *tenant.Tenant, id string) (*Job, error) {
+	j, err := m.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	if !tn.CanSee(j.Tenant) {
 		return nil, ErrNotFound
 	}
 	return j, nil
@@ -410,24 +716,37 @@ func (m *Manager) Get(id string) (*Job, error) {
 // cancel and the terminal record still settles the job as cancelled on
 // recovery instead of re-executing it to completion.
 func (m *Manager) Cancel(id string) (*Job, error) {
-	j, err := m.Get(id)
+	return m.CancelFor(nil, id)
+}
+
+// CancelFor is Cancel scoped to the tenant's view (see GetFor).
+func (m *Manager) CancelFor(tn *tenant.Tenant, id string) (*Job, error) {
+	j, err := m.GetFor(tn, id)
 	if err != nil {
 		return nil, err
 	}
-	if !j.Done() {
-		j.journal(journal.Record{Type: journal.TypeCancel, Job: j.ID})
-	}
+	j.requestCancel()
 	j.cancel()
 	return j, nil
 }
 
-// List returns every retained job in submission order.
+// List returns every retained job in submission order (the manager's
+// unscoped view).
 func (m *Manager) List() []*Job {
+	return m.ListFor(nil)
+}
+
+// ListFor returns the retained jobs the tenant may see, in submission
+// order: its own for a regular tenant, everything for an admin or a nil
+// (internal) view.
+func (m *Manager) ListFor(tn *tenant.Tenant) []*Job {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := make([]*Job, 0, len(m.order))
 	for _, id := range m.order {
-		out = append(out, m.jobs[id])
+		if j := m.jobs[id]; tn.CanSee(j.Tenant) {
+			out = append(out, j)
+		}
 	}
 	return out
 }
@@ -468,33 +787,44 @@ func (m *Manager) FlushCaches() error {
 	return m.shared.SaveDir(m.opts.CacheDir)
 }
 
-// pendingDone marks one job as no longer waiting for a concurrency slot.
-func (m *Manager) pendingDone() {
-	m.mu.Lock()
-	m.pending--
-	m.mu.Unlock()
-}
-
-// evictLocked drops the oldest terminal jobs beyond the history bound.
+// evictLocked drops the oldest terminal jobs beyond the history bound and
+// returns their IDs for journaling (via journalForgets, outside m.mu).
 // Non-terminal jobs are never evicted. Evictions are journaled so the
 // journal's state (and the next recovery) stays in step with the history —
 // and so compaction can drop the evicted jobs' records entirely.
-func (m *Manager) evictLocked() {
+func (m *Manager) evictLocked() []string {
 	excess := len(m.order) - m.opts.maxHistory()
 	if excess <= 0 {
-		return
+		return nil
 	}
+	var forgotten []string
 	kept := m.order[:0]
 	for _, id := range m.order {
 		if excess > 0 && m.jobs[id].Snapshot().Status.Terminal() {
-			m.jobs[id].journal(journal.Record{Type: journal.TypeForget, Job: id})
 			delete(m.jobs, id)
+			forgotten = append(forgotten, id)
 			excess--
 			continue
 		}
 		kept = append(kept, id)
 	}
 	m.order = kept
+	return forgotten
+}
+
+// journalForgets appends Forget records for evicted jobs — outside m.mu,
+// for the same slow-disk reason Submit journals outside it. A crash between
+// the in-memory eviction and this fsync resurrects the evicted jobs on
+// recovery, which is harmless: they are terminal and evict again at once.
+func (m *Manager) journalForgets(ids []string) {
+	if m.jn == nil {
+		return
+	}
+	for _, id := range ids {
+		if err := m.jn.Append(journal.Record{Type: journal.TypeForget, Job: id}); err != nil && !errors.Is(err, journal.ErrClosed) {
+			m.logf("jobs: journal append (%s %s): %v", journal.TypeForget, id, err)
+		}
+	}
 }
 
 // Job is one managed co-exploration. Fields are immutable after creation;
@@ -502,12 +832,21 @@ func (m *Manager) evictLocked() {
 type Job struct {
 	ID   string
 	Spec Spec
+	// Tenant is the owning tenant's name; journaled with the submission so
+	// quota accounting and API scoping survive restarts.
+	Tenant string
 
 	cancel  context.CancelFunc
 	created time.Time
 	maxEv   int
+	slot    chan struct{}        // closed by the dispatcher when the job may run
 	jn      *journal.Journal     // nil when the manager is memory-only
 	logf    func(string, ...any) // durability warnings (never nil when jn set)
+
+	// Dispatcher bookkeeping, guarded by the Manager's mu (not j.mu).
+	queued  bool  // sitting in its tenant's runnable queue
+	granted bool  // slot granted (slot closed)
+	grant   int64 // grant sequence number; fairness assertions in tests
 
 	mu       sync.Mutex
 	status   Status
@@ -522,7 +861,10 @@ type Job struct {
 
 // Snapshot is a point-in-time copy of a job's mutable state.
 type Snapshot struct {
-	ID         string     `json:"id"`
+	ID string `json:"id"`
+	// Tenant is the owning tenant; omitted for pre-tenancy (anonymous) jobs'
+	// wire compatibility only when empty, which cannot happen for new jobs.
+	Tenant     string     `json:"tenant,omitempty"`
 	Spec       Spec       `json:"spec"`
 	Status     Status     `json:"status"`
 	CreatedAt  time.Time  `json:"created_at"`
@@ -542,6 +884,7 @@ func (j *Job) Snapshot() Snapshot {
 	defer j.mu.Unlock()
 	s := Snapshot{
 		ID:        j.ID,
+		Tenant:    j.Tenant,
 		Spec:      j.Spec,
 		Status:    j.status,
 		CreatedAt: j.created,
@@ -597,6 +940,21 @@ func (j *Job) Events(from int) ([]nasaic.Event, int, <-chan struct{}) {
 	return out, j.firstSeq + start, j.changed
 }
 
+// requestCancel journals the cancel request, atomically with the terminal
+// check: finish journals the terminal record under the same j.mu, so the
+// old unlocked check-then-append race — job finishes between Done() and the
+// cancel append, journaling a cancel after the terminal record — cannot
+// happen. On a terminal job this is a no-op (and the journal reduction
+// additionally ignores cancels on terminal states, as defense in depth).
+func (j *Job) requestCancel() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.Terminal() {
+		return
+	}
+	j.journal(journal.Record{Type: journal.TypeCancel, Job: j.ID})
+}
+
 // Done reports whether the job reached a terminal status.
 func (j *Job) Done() bool {
 	j.mu.Lock()
@@ -642,8 +1000,8 @@ func (j *Job) journal(rec journal.Record) {
 func (j *Job) restoreTerminal(st *journal.JobState, status Status) {
 	j.status = status
 	j.cancel = func() {} // nothing to cancel; Close/Cancel stay safe to call
-	j.started = orNow(st.Started)
-	j.finished = orNow(st.Finished)
+	j.started = orAfter(st.Started, j.created)
+	j.finished = orAfter(st.Finished, j.started)
 	j.firstSeq = st.FirstSeq
 	for _, raw := range st.Events {
 		ev, err := nasaic.DecodeEvent(raw)

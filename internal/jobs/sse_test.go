@@ -27,7 +27,7 @@ func idleStreamFixture(t *testing.T, cfg handlerConfig) (*server, *httptest.Serv
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := newServer(m, cfg)
+	s := newServer(m, nil, cfg)
 	srv := httptest.NewServer(s.handler())
 	t.Cleanup(srv.Close)
 	return s, srv, idle

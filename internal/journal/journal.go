@@ -82,8 +82,11 @@ const (
 // Record is one journal entry. Only the fields meaningful for its Type are
 // set; payloads (spec, event, result) are opaque JSON owned by the caller.
 type Record struct {
-	Type   Type            `json:"t"`
-	Job    string          `json:"job,omitempty"`
+	Type Type   `json:"t"`
+	Job  string `json:"job,omitempty"`
+	// Tenant names the submitting tenant (TypeSubmitted only); recovery
+	// re-attaches the job to it for quota accounting and API scoping.
+	Tenant string          `json:"tenant,omitempty"`
 	Time   time.Time       `json:"time,omitzero"`
 	Seq    int             `json:"seq,omitempty"`
 	Status string          `json:"status,omitempty"`
@@ -98,7 +101,10 @@ type Record struct {
 // to restore a terminal job (full event ring included) or re-execute an
 // interrupted one from its spec.
 type JobState struct {
-	ID              string          `json:"id"`
+	ID string `json:"id"`
+	// Tenant is the owning tenant's name; empty on records journaled before
+	// tenancy existed (recovery maps those to the anonymous tenant).
+	Tenant          string          `json:"tenant,omitempty"`
 	Spec            json.RawMessage `json:"spec"`
 	Status          string          `json:"status"`
 	Error           string          `json:"error,omitempty"`
@@ -634,6 +640,7 @@ func (j *Journal) applyLocked(rec Record) {
 		}
 		st.Spec = rec.Spec
 		st.Created = rec.Time
+		st.Tenant = rec.Tenant
 	case TypeRunning:
 		if st == nil {
 			return
@@ -668,7 +675,10 @@ func (j *Journal) applyLocked(rec Record) {
 			st.FirstSeq = rec.Seq
 		}
 	case TypeCancel:
-		if st == nil {
+		// A cancel landing after the terminal record is a no-op: the job is
+		// already settled, and recovery must keep it terminal rather than
+		// resurrect it as cancel-requested.
+		if st == nil || st.Terminal() {
 			return
 		}
 		st.CancelRequested = true

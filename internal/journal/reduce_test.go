@@ -1,0 +1,139 @@
+package journal
+
+import (
+	"testing"
+	"time"
+
+	"nasaic/internal/faultfs"
+)
+
+// TestReduceTerminalThenCancelStaysTerminal pins the cancel/finish race fix:
+// a cancel record that lands after the terminal record (the job finished
+// between the manager's done-check and the journal append, before that
+// sequence was made atomic) must reduce to the terminal state — not flip the
+// job to cancel-requested, which would make recovery settle a succeeded job
+// as cancelled.
+func TestReduceTerminalThenCancelStaysTerminal(t *testing.T) {
+	fs := faultfs.NewMem(faultfs.Faults{})
+	j, err := Open("data/journal", Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range []Record{
+		{Type: TypeSubmitted, Job: "job-1", Time: t0, Spec: raw(`{"workload":"W3","episodes":2}`)},
+		{Type: TypeRunning, Job: "job-1", Time: t0.Add(time.Second)},
+		{Type: TypeFinished, Job: "job-1", Time: t0.Add(time.Minute), Status: "succeeded",
+			Result: raw(`{"workload":"W3","episodes":2}`)},
+		{Type: TypeCancel, Job: "job-1"}, // spurious: raced the finish
+	} {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check := func(j *Journal, when string) {
+		t.Helper()
+		states := j.States()
+		if len(states) != 1 {
+			t.Fatalf("%s: %d states", when, len(states))
+		}
+		st := states[0]
+		if st.Status != "succeeded" || !st.Terminal() {
+			t.Fatalf("%s: status %q, want succeeded", when, st.Status)
+		}
+		if st.CancelRequested {
+			t.Fatalf("%s: terminal-then-cancel left CancelRequested set", when)
+		}
+	}
+	check(j, "live reduction")
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The same sequence replayed from disk reduces identically.
+	j2, err := Open("data/journal", Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(j2, "replay")
+
+	// And it survives compaction: the snapshot record must carry the
+	// terminal state, not a cancel-requested one.
+	j2.Compact()
+	check(j2, "post-compaction")
+	j2.Close()
+	j3, err := Open("data/journal", Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	check(j3, "replay of compacted snapshot")
+}
+
+// TestReduceCancelBeforeTerminalStillSettles is the control: cancel before
+// the process died (no terminal record) must still mark the state so
+// recovery settles the job as cancelled instead of re-executing it.
+func TestReduceCancelBeforeTerminalStillSettles(t *testing.T) {
+	fs := faultfs.NewMem(faultfs.Faults{})
+	j, err := Open("data/journal", Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	for _, rec := range []Record{
+		{Type: TypeSubmitted, Job: "job-1", Time: t0, Spec: raw(`{"workload":"W3"}`)},
+		{Type: TypeRunning, Job: "job-1", Time: t0.Add(time.Second)},
+		{Type: TypeCancel, Job: "job-1"},
+	} {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := j.States()[0]
+	if !st.CancelRequested || st.Terminal() {
+		t.Fatalf("state = %+v, want cancel-requested and non-terminal", st)
+	}
+}
+
+// TestTenantFieldRoundTrips pins the tenancy plumbing through the journal:
+// the submitted record's tenant survives reduction, replay and compaction.
+func TestTenantFieldRoundTrips(t *testing.T) {
+	fs := faultfs.NewMem(faultfs.Faults{})
+	j, err := Open("data/journal", Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range []Record{
+		{Type: TypeSubmitted, Job: "job-1", Tenant: "acme", Time: t0, Spec: raw(`{"workload":"W3"}`)},
+		{Type: TypeSubmitted, Job: "job-2", Time: t0, Spec: raw(`{"workload":"W1"}`)}, // pre-tenancy shape
+		{Type: TypeFinished, Job: "job-1", Time: t0.Add(time.Minute), Status: "succeeded"},
+	} {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check := func(j *Journal, when string) {
+		t.Helper()
+		states := j.States()
+		if len(states) != 2 {
+			t.Fatalf("%s: %d states", when, len(states))
+		}
+		if states[0].Tenant != "acme" {
+			t.Fatalf("%s: job-1 tenant %q, want acme", when, states[0].Tenant)
+		}
+		if states[1].Tenant != "" {
+			t.Fatalf("%s: pre-tenancy job-2 grew tenant %q", when, states[1].Tenant)
+		}
+	}
+	check(j, "live")
+	j.Compact()
+	check(j, "post-compaction")
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := Open("data/journal", Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	check(j2, "replay")
+}
