@@ -1,0 +1,328 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"nasaic/pkg/nasaic"
+)
+
+const smokeClusterKey = "smoke-cluster-key"
+
+// startDaemonArgs is startDaemon with explicit flags (cluster roles).
+func startDaemonArgs(t *testing.T, bin, addr string, args ...string) *daemon {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", addr}, args...)...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{cmd: cmd, base: "http://" + addr}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+		}
+	})
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(d.base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return d
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("daemon at %s never became healthy", addr)
+	return nil
+}
+
+// clusterGet issues a GET with the cluster shared key (worker /v1 surface).
+func clusterGet(t *testing.T, url string) *http.Response {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodGet, url, nil)
+	req.Header.Set("Authorization", "Bearer "+smokeClusterKey)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// waitCoordinatorWorkers polls the coordinator's JSON /healthz until n
+// workers report healthy.
+func waitCoordinatorWorkers(t *testing.T, d *daemon, n int) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(d.base + "/healthz")
+		if err == nil {
+			var h struct {
+				Role    string `json:"role"`
+				Workers []struct {
+					Healthy bool `json:"healthy"`
+				} `json:"workers"`
+			}
+			decErr := json.NewDecoder(resp.Body).Decode(&h)
+			resp.Body.Close()
+			if decErr == nil && h.Role == "coordinator" {
+				healthy := 0
+				for _, w := range h.Workers {
+					if w.Healthy {
+						healthy++
+					}
+				}
+				if healthy >= n {
+					return
+				}
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("coordinator never saw %d healthy workers", n)
+}
+
+// pollEpisodes waits until the job has produced at least min episodes (and
+// is not yet terminal) at the given daemon.
+func pollEpisodes(t *testing.T, d *daemon, id string, min int) {
+	t.Helper()
+	deadline := time.Now().Add(time.Minute)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never reached %d episodes", id, min)
+		}
+		snap := d.getJob(t, id)
+		var n int
+		_ = json.Unmarshal(snap["episodes"], &n)
+		var status string
+		_ = json.Unmarshal(snap["status"], &status)
+		if status == "succeeded" || status == "failed" || status == "cancelled" {
+			t.Fatalf("job %s already terminal (%s) at %d episodes", id, status, n)
+		}
+		if n >= min {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// waitTerminal polls until the job settles, returning its final status.
+func waitTerminal(t *testing.T, d *daemon, id string, timeout time.Duration) (string, map[string]json.RawMessage) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	var status string
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %q", id, status)
+		}
+		snap := d.getJob(t, id)
+		_ = json.Unmarshal(snap["status"], &status)
+		if status == "succeeded" || status == "failed" || status == "cancelled" {
+			return status, snap
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func submitJob(t *testing.T, d *daemon, spec string) string {
+	t.Helper()
+	resp, err := http.Post(d.base+"/v1/jobs", "application/json", bytes.NewReader([]byte(spec)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var submitted struct {
+		ID string `json:"id"`
+	}
+	decErr := json.NewDecoder(resp.Body).Decode(&submitted)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || decErr != nil || submitted.ID == "" {
+		t.Fatalf("submit: status %d, id %q (%v)", resp.StatusCode, submitted.ID, decErr)
+	}
+	return submitted.ID
+}
+
+func requireIdentical(t *testing.T, snap map[string]json.RawMessage, want *nasaic.Result, label string) {
+	t.Helper()
+	var result nasaic.Result
+	if err := json.Unmarshal(snap["result"], &result); err != nil {
+		t.Fatalf("%s: job has no result: %v", label, err)
+	}
+	if result.Best == nil || want.Best == nil {
+		t.Fatalf("%s: missing best solution: got %v, want %v", label, result.Best, want.Best)
+	}
+	if result.Best.Design.String() != want.Best.Design.String() ||
+		result.Best.WeightedAccuracy != want.Best.WeightedAccuracy ||
+		result.Best.LatencyCycles != want.Best.LatencyCycles ||
+		result.Best.EnergyNJ != want.Best.EnergyNJ ||
+		result.Best.AreaUM2 != want.Best.AreaUM2 {
+		t.Fatalf("%s: result diverged from the standalone run:\n%+v\nvs\n%+v", label, result.Best, want.Best)
+	}
+	if len(result.Explored) != len(want.Explored) {
+		t.Fatalf("%s: explored %d solutions, want %d", label, len(result.Explored), len(want.Explored))
+	}
+}
+
+// TestClusterFailoverSmoke is the cluster acceptance smoke at process
+// level: 1 coordinator + 2 workers as real nasaicd processes.
+//
+// Phase 1 (worker death): a job runs through the coordinator, the worker
+// executing it is SIGKILLed mid-run, and the coordinator must re-dispatch to
+// the survivor and finish bit-identical to a direct in-process run of the
+// same spec — the client polling the coordinator never sees an error.
+//
+// Phase 2 (coordinator death): the same spec is submitted again (the
+// warm-vs-cold pass: the survivor's shared memos are hot now, and the result
+// must still be byte-equal), the coordinator is SIGKILLed mid-run and
+// restarted over the same -datadir, and the journaled job→worker binding
+// must let it re-attach to the still-running remote job: the worker only
+// ever sees the one submission, the job settles identically, and SSE
+// Last-Event-ID replay works against the recovered stream.
+func TestClusterFailoverSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-level cluster smoke skipped in -short mode")
+	}
+	const episodes = 600
+	bin := buildDaemon(t)
+	datadir := t.TempDir()
+
+	w1Addr, w2Addr, coordAddr := freeAddr(t), freeAddr(t), freeAddr(t)
+	w1 := startDaemonArgs(t, bin, w1Addr, "-role", "worker", "-cluster-key", smokeClusterKey, "-max-jobs", "1")
+	w2 := startDaemonArgs(t, bin, w2Addr, "-role", "worker", "-cluster-key", smokeClusterKey, "-max-jobs", "1")
+	workerList := "http://" + w1Addr + ",http://" + w2Addr
+	coordArgs := []string{
+		"-role", "coordinator",
+		"-workers", workerList,
+		"-cluster-key", smokeClusterKey,
+		"-datadir", datadir,
+	}
+	coord := startDaemonArgs(t, bin, coordAddr, coordArgs...)
+	waitCoordinatorWorkers(t, coord, 2)
+
+	// The standalone reference for both phases.
+	want, err := nasaic.Run(context.Background(),
+		nasaic.WithWorkload("W3"),
+		nasaic.WithEpisodes(episodes),
+		nasaic.WithSeed(1),
+		nasaic.WithWorkers(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := fmt.Sprintf(`{"workload":"W3","episodes":%d,"seed":1,"workers":2}`, episodes)
+
+	// ---- Phase 1: kill the worker executing the job. ----
+	job1 := submitJob(t, coord, spec)
+	pollEpisodes(t, coord, job1, 20)
+
+	victim, survivor := (*daemon)(nil), (*daemon)(nil)
+	for _, pair := range [][2]*daemon{{w1, w2}, {w2, w1}} {
+		resp := clusterGet(t, pair[0].base+"/v1/jobs")
+		var listed []struct {
+			Status string `json:"status"`
+		}
+		decErr := json.NewDecoder(resp.Body).Decode(&listed)
+		resp.Body.Close()
+		if decErr != nil {
+			t.Fatal(decErr)
+		}
+		for _, j := range listed {
+			if j.Status == "running" {
+				victim, survivor = pair[0], pair[1]
+			}
+		}
+	}
+	if victim == nil {
+		t.Fatal("no worker is running the job")
+	}
+	if err := victim.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = victim.cmd.Process.Wait()
+
+	status, snap := waitTerminal(t, coord, job1, 3*time.Minute)
+	if status != "succeeded" {
+		t.Fatalf("job after worker death finished %q, want succeeded", status)
+	}
+	requireIdentical(t, snap, want, "worker-failover")
+
+	// ---- Phase 2: kill and restart the coordinator mid-run. ----
+	job2 := submitJob(t, coord, spec) // warm pass: survivor's memos are hot
+	pollEpisodes(t, coord, job2, 20)
+	if err := coord.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = coord.cmd.Process.Wait()
+
+	coord2 := startDaemonArgs(t, bin, coordAddr, coordArgs...)
+	status, snap = waitTerminal(t, coord2, job2, 3*time.Minute)
+	if status != "succeeded" {
+		t.Fatalf("job after coordinator restart finished %q, want succeeded", status)
+	}
+	requireIdentical(t, snap, want, "coordinator-restart")
+
+	// Re-attachment, not re-dispatch: the surviving worker saw exactly two
+	// submissions across the whole smoke (one per phase), not a third from
+	// the restarted coordinator.
+	resp := clusterGet(t, survivor.base+"/v1/jobs")
+	var onSurvivor []json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&onSurvivor); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(onSurvivor) != 2 {
+		t.Fatalf("survivor ran %d jobs, want 2 (restart must re-attach, not re-dispatch)", len(onSurvivor))
+	}
+
+	// SSE replay through the restarted coordinator: resume near the tail.
+	from := episodes - 5
+	req, _ := http.NewRequest(http.MethodGet, coord2.base+"/v1/jobs/"+job2+"/events", nil)
+	req.Header.Set("Last-Event-ID", fmt.Sprint(from-1))
+	sse, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sse.Body.Close()
+	r := bufio.NewReader(sse.Body)
+	var events, ids []string
+	cur := ""
+	for len(events) < 7 {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			break
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur = line[len("event: "):]
+		case strings.HasPrefix(line, "id: "):
+			ids = append(ids, line[len("id: "):])
+		case line == "" && cur != "":
+			events = append(events, cur)
+			cur = ""
+		}
+	}
+	if len(events) != 6 {
+		t.Fatalf("SSE replay: %d frames (%v), want 5 episodes + done", len(events), events)
+	}
+	for i := 0; i < 5; i++ {
+		if events[i] != "episode" || ids[i] != fmt.Sprint(from+i) {
+			t.Fatalf("replay frame %d: %s id %s, want episode %d", i, events[i], ids[i], from+i)
+		}
+	}
+	if events[5] != "done" || ids[5] != fmt.Sprint(episodes) {
+		t.Fatalf("terminal frame %s id %s, want done %d", events[5], ids[5], episodes)
+	}
+}

@@ -7,7 +7,8 @@
 //
 //	nasaicd [-addr :8080] [-max-jobs 2] [-max-pending 0] [-history 64]
 //	        [-sharedmemo] [-cachedir DIR] [-cacheflush 5m] [-datadir DIR]
-//	        [-tenants FILE]
+//	        [-tenants FILE] [-role standalone|coordinator|worker]
+//	        [-workers URL,URL,...] [-cluster-key KEY]
 //
 // With -cachedir the shared evaluation cache and memos persist across
 // restarts: the warm tier is loaded at startup, flushed every -cacheflush
@@ -39,6 +40,29 @@
 // from the crash itself, bit flips, version skew) is truncated away at
 // startup; it degrades durability, never prevents the daemon from starting.
 //
+// With -role the daemon joins a cluster (default standalone keeps every
+// behavior above, bit-identical results everywhere):
+//
+//   - `-role coordinator -workers http://w1:8080,http://w2:8080` serves the
+//     public API unchanged but executes nothing locally: granted jobs are
+//     dispatched to the least-loaded healthy worker and their SSE streams
+//     proxied back, sequence numbers and all. Tenant auth, quotas and fair
+//     scheduling stay at the coordinator; with -datadir every job→worker
+//     binding is journaled, so a restarted coordinator re-attaches to
+//     in-flight remote runs. When a worker dies mid-job, the coordinator
+//     re-dispatches the job to another replica — deterministic re-execution
+//     converges to the identical result, and clients just see their SSE
+//     stream resume. GET /healthz reports per-worker status as JSON.
+//   - `-role worker` is a standalone daemon whose /v1 surface is gated by
+//     the -cluster-key shared key (distinct from tenant keys, which never
+//     reach workers) and which additionally serves /v1/cluster/health load
+//     probes. /healthz stays open and bare.
+//
+// -cluster-key sets the shared key on both sides; empty disables the gate
+// (trusted networks only). In coordinator mode an unset -max-jobs defaults
+// to 4× the worker count instead of 2, since slots only bound dispatch
+// fan-out, not local CPU.
+//
 // API:
 //
 //	POST   /v1/jobs             {"workload":"W3","episodes":150,"seed":1}
@@ -57,9 +81,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"nasaic/internal/cluster"
 	"nasaic/internal/jobs"
 	"nasaic/internal/tenant"
 )
@@ -67,7 +93,7 @@ import (
 func main() {
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
-		maxJobs    = flag.Int("max-jobs", 2, "jobs exploring concurrently; further submissions queue")
+		maxJobs    = flag.Int("max-jobs", 2, "jobs exploring concurrently; further submissions queue (coordinator default: 4x worker count)")
 		maxPending = flag.Int("max-pending", 0, "jobs queued for a slot before submissions are rejected with 429; 0 = unbounded")
 		history    = flag.Int("history", 64, "finished jobs retained for inspection")
 		sharedmemo = flag.Bool("sharedmemo", true, "share the evaluation cache and memos across jobs (results are identical either way)")
@@ -75,6 +101,9 @@ func main() {
 		cacheflush = flag.Duration("cacheflush", 5*time.Minute, "interval between periodic warm-tier flushes (with -cachedir)")
 		datadir    = flag.String("datadir", "", "directory for the durable job journal; jobs survive restarts (finished ones are restored, interrupted ones re-executed)")
 		tenantsCfg = flag.String("tenants", "", "JSON API-key registry; turns on Bearer auth, per-tenant quotas and fair scheduling across tenants")
+		role       = flag.String("role", "standalone", "cluster role: standalone, coordinator (dispatches jobs to -workers) or worker (serves a coordinator)")
+		workersCSV = flag.String("workers", "", "comma-separated worker base URLs (coordinator role)")
+		clusterKey = flag.String("cluster-key", "", "shared key authenticating coordinator→worker traffic; empty disables the gate")
 	)
 	flag.Parse()
 
@@ -90,7 +119,47 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	m := jobs.NewManager(jobs.Options{
+
+	// Cluster wiring happens before the manager exists: the coordinator is
+	// the manager's Executor, so recovery's re-dispatch of journaled jobs
+	// already goes through it.
+	var coord *cluster.Coordinator
+	switch *role {
+	case "standalone", "worker":
+		if *workersCSV != "" {
+			fmt.Fprintf(os.Stderr, "nasaicd: -workers only applies to -role coordinator\n")
+			os.Exit(2)
+		}
+	case "coordinator":
+		var urls []string
+		for _, u := range strings.Split(*workersCSV, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		var err error
+		if coord, err = cluster.New(cluster.Config{
+			Workers: urls,
+			Key:     *clusterKey,
+			Logf:    logf,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "nasaicd: %v\n", err)
+			os.Exit(2)
+		}
+		// The coordinator's concurrency limit only bounds dispatch fan-out
+		// (no local CPU burned per slot), so an unset -max-jobs scales with
+		// the cluster rather than staying at the single-node default.
+		set := false
+		flag.Visit(func(f *flag.Flag) { set = set || f.Name == "max-jobs" })
+		if !set {
+			*maxJobs = 4 * len(urls)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "nasaicd: unknown -role %q (want standalone, coordinator or worker)\n", *role)
+		os.Exit(2)
+	}
+
+	opts := jobs.Options{
 		MaxConcurrent: *maxJobs,
 		MaxPending:    *maxPending,
 		MaxHistory:    *history,
@@ -99,10 +168,24 @@ func main() {
 		DataDir:       *datadir,
 		Logf:          logf,
 		Tenants:       reg,
-	})
+	}
+	if coord != nil {
+		opts.Executor = coord
+	}
+	m := jobs.NewManager(opts)
+
+	var handler http.Handler
+	switch {
+	case coord != nil:
+		handler = cluster.NewCoordinatorHandler(m, reg, coord)
+	case *role == "worker":
+		handler = cluster.NewWorkerHandler(m, *clusterKey)
+	default:
+		handler = jobs.NewAuthHandler(m, reg)
+	}
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: jobs.NewAuthHandler(m, reg),
+		Handler: handler,
 		// Submissions and polls are quick; the SSE stream manages its own
 		// lifetime, so no global write timeout.
 		ReadHeaderTimeout: 10 * time.Second,
@@ -121,7 +204,17 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Printf("nasaicd listening on %s (max-jobs=%d, sharedmemo=%v)\n", *addr, *maxJobs, *sharedmemo)
+	fmt.Printf("nasaicd listening on %s (role=%s, max-jobs=%d, sharedmemo=%v)\n", *addr, *role, *maxJobs, *sharedmemo)
+	if coord != nil {
+		fmt.Printf("nasaicd: coordinating %d workers: %s\n", len(coord.Status()), *workersCSV)
+	}
+	if *role == "worker" {
+		gate := "open (no -cluster-key)"
+		if *clusterKey != "" {
+			gate = "shared-key gated"
+		}
+		fmt.Printf("nasaicd: worker mode, /v1 %s\n", gate)
+	}
 	if *cachedir != "" {
 		fmt.Printf("nasaicd: persistent warm tier at %s (flush every %s)\n", *cachedir, *cacheflush)
 	}
@@ -138,14 +231,22 @@ func main() {
 	case err := <-errc:
 		fmt.Fprintln(os.Stderr, err)
 		m.Close()
+		if coord != nil {
+			coord.Close()
+		}
 		os.Exit(1)
 	}
 
 	// Stop accepting connections, then cancel the running jobs; SSE streams
-	// end with their jobs' terminal events.
+	// end with their jobs' terminal events. The coordinator closes after the
+	// manager: draining jobs still need the worker pool to cancel their
+	// remote halves.
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	m.Close()
+	if coord != nil {
+		coord.Close()
+	}
 	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -1,0 +1,220 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"nasaic/internal/jobs"
+)
+
+// errRemoteGone marks a 404 from a worker: the remote job no longer exists
+// there (the worker restarted without its journal, or evicted the job). The
+// coordinator responds by clearing the binding and re-dispatching — the
+// deterministic re-run converges to the same result.
+var errRemoteGone = errors.New("cluster: remote job gone")
+
+// remoteError is a non-2xx worker response that is not a 404.
+type remoteError struct {
+	status int
+	msg    string
+}
+
+func (e *remoteError) Error() string {
+	if e.msg == "" {
+		return fmt.Sprintf("cluster: worker returned %d", e.status)
+	}
+	return fmt.Sprintf("cluster: worker returned %d: %s", e.status, e.msg)
+}
+
+// client speaks a worker replica's HTTP API: the public /v1/jobs surface
+// (submit/get/cancel/stream — the same wire protocol standalone clients use)
+// plus the internal /v1/cluster/health load probe. Every request carries the
+// cluster shared key as a bearer credential.
+type client struct {
+	base          string // worker base URL, no trailing slash
+	key           string // cluster shared key ("" = auth off)
+	http          *http.Client
+	streamTimeout time.Duration // silence bound on the SSE stream
+}
+
+func (cl *client) do(ctx context.Context, method, path string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, method, cl.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if cl.key != "" {
+		req.Header.Set("Authorization", "Bearer "+cl.key)
+	}
+	return cl.http.Do(req)
+}
+
+// decode consumes the response, mapping 404 to errRemoteGone and any other
+// unexpected status to a remoteError, then unmarshals the body into v (nil v
+// discards it).
+func decode(resp *http.Response, want int, v any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode != want {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		if resp.StatusCode == http.StatusNotFound {
+			return errRemoteGone
+		}
+		var ae struct {
+			Error string `json:"error"`
+		}
+		_ = json.Unmarshal(body, &ae)
+		return &remoteError{status: resp.StatusCode, msg: ae.Error}
+	}
+	if v == nil {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// submit posts the spec to the worker and returns the accepted snapshot
+// (carrying the worker-local job ID the binding records).
+func (cl *client) submit(ctx context.Context, spec jobs.Spec) (jobs.Snapshot, error) {
+	var snap jobs.Snapshot
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return snap, err
+	}
+	resp, err := cl.do(ctx, http.MethodPost, "/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return snap, err
+	}
+	return snap, decode(resp, http.StatusAccepted, &snap)
+}
+
+// get fetches the remote job's snapshot.
+func (cl *client) get(ctx context.Context, id string) (jobs.Snapshot, error) {
+	var snap jobs.Snapshot
+	resp, err := cl.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil)
+	if err != nil {
+		return snap, err
+	}
+	return snap, decode(resp, http.StatusOK, &snap)
+}
+
+// cancel requests cancellation of the remote job.
+func (cl *client) cancel(ctx context.Context, id string) error {
+	resp, err := cl.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil)
+	if err != nil {
+		return err
+	}
+	return decode(resp, http.StatusAccepted, nil)
+}
+
+// workerHealth is the /v1/cluster/health payload: the worker's current load,
+// aggregated by the coordinator for placement and Retry-After estimates.
+type workerHealth struct {
+	Status  string `json:"status"`
+	Pending int    `json:"pending"`
+	Running int    `json:"running"`
+	Slots   int    `json:"slots"`
+}
+
+// health probes the worker's internal load endpoint.
+func (cl *client) health(ctx context.Context) (workerHealth, error) {
+	var h workerHealth
+	resp, err := cl.do(ctx, http.MethodGet, "/v1/cluster/health", nil)
+	if err != nil {
+		return h, err
+	}
+	return h, decode(resp, http.StatusOK, &h)
+}
+
+// sseFrame is one parsed Server-Sent Event from a worker stream.
+type sseFrame struct {
+	event string
+	id    int
+	data  []byte
+}
+
+// errStreamDone is returned by a stream callback to end the stream cleanly
+// (the terminal done frame arrived).
+var errStreamDone = errors.New("cluster: stream complete")
+
+// stream follows the remote job's SSE event stream, invoking onFrame for
+// every complete frame. lastID < 0 streams from the beginning; otherwise the
+// worker replays from lastID+1 (standard Last-Event-ID semantics, identical
+// to what a reconnecting client sends). A watchdog bounds the silence
+// between frames: the worker heartbeats idle streams every 15s, so a stream
+// quiet for streamTimeout is presumed dead and torn down — this is what
+// detects a worker that vanished without closing the TCP connection (power
+// loss, partition). Comment frames (heartbeats) feed the watchdog but are
+// not delivered. Returns nil when onFrame ends the stream with
+// errStreamDone.
+func (cl *client) stream(ctx context.Context, id string, lastID int, onFrame func(sseFrame) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cl.base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	if cl.key != "" {
+		req.Header.Set("Authorization", "Bearer "+cl.key)
+	}
+	if lastID >= 0 {
+		req.Header.Set("Last-Event-ID", strconv.Itoa(lastID))
+	}
+	resp, err := cl.http.Do(req)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return decode(resp, http.StatusOK, nil) // maps 404 / non-200
+	}
+	defer resp.Body.Close()
+
+	// The watchdog closes the body when the stream goes silent; the blocked
+	// read then fails with a read-on-closed error rather than hanging forever.
+	watchdog := time.AfterFunc(cl.streamTimeout, func() { resp.Body.Close() })
+	defer watchdog.Stop()
+
+	// Lines are unbounded: a done frame's data line carries the job's full
+	// terminal snapshot, explored solutions and all, which on long runs is
+	// well past any fixed scanner cap.
+	r := bufio.NewReaderSize(resp.Body, 64<<10)
+	var f sseFrame
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			if errors.Is(err, io.EOF) && line == "" {
+				return fmt.Errorf("cluster: stream from %s ended without a done frame", cl.base)
+			}
+			return fmt.Errorf("cluster: stream read: %w", err)
+		}
+		watchdog.Reset(cl.streamTimeout)
+		line = strings.TrimSuffix(line, "\n")
+		switch {
+		case line == "": // frame boundary
+			if f.event != "" {
+				if err := onFrame(f); err != nil {
+					if errors.Is(err, errStreamDone) {
+						return nil
+					}
+					return err
+				}
+			}
+			f = sseFrame{}
+		case strings.HasPrefix(line, ":"): // heartbeat comment: watchdog food only
+		case strings.HasPrefix(line, "event: "):
+			f.event = line[len("event: "):]
+		case strings.HasPrefix(line, "id: "):
+			f.id, _ = strconv.Atoi(line[len("id: "):])
+		case strings.HasPrefix(line, "data: "):
+			f.data = append([]byte(nil), line[len("data: "):]...)
+		}
+	}
+}

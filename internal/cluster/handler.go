@@ -1,0 +1,57 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"nasaic/internal/jobs"
+	"nasaic/internal/tenant"
+)
+
+// NewCoordinatorHandler exposes the coordinator over HTTP: the public
+// /v1/jobs API unchanged (tenant auth, quotas, SSE — clients cannot tell a
+// coordinator from a standalone daemon) with one deliberate difference on
+// GET /healthz: instead of the bare-200 body, the coordinator reports its
+// role and every worker's health and load as JSON, so operators see replica
+// state from the front door. Workers and standalone daemons keep the bare
+// contract.
+func NewCoordinatorHandler(m *jobs.Manager, reg *tenant.Registry, c *Coordinator) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		workers := c.Status()
+		status := "degraded" // live, but no healthy worker to place on
+		for _, ws := range workers {
+			if ws.Healthy {
+				status = "ok"
+				break
+			}
+		}
+		writeJSON(w, http.StatusOK, coordinatorHealth{
+			Status:  status,
+			Role:    "coordinator",
+			Workers: workers,
+		})
+	})
+	mux.Handle("/", jobs.NewAuthHandler(m, reg))
+	return mux
+}
+
+// coordinatorHealth is the coordinator's /healthz payload.
+type coordinatorHealth struct {
+	Status  string         `json:"status"`
+	Role    string         `json:"role"`
+	Workers []WorkerStatus `json:"workers"`
+}
+
+// apiError mirrors the jobs package's JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

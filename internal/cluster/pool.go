@@ -1,0 +1,249 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// worker is one replica in the pool. The client is immutable; everything
+// else is guarded by the pool's mu.
+type worker struct {
+	name   string // base URL, the identity journaled in assignment records
+	client *client
+
+	healthy  bool
+	failures int // consecutive probe failures, drives the backoff
+	inflight int // coordinator-tracked jobs currently bound to this worker
+	// Last successful probe's load numbers, for Retry-After aggregation and
+	// the coordinator /healthz report.
+	pending, running, slots int
+}
+
+// errPoolClosed is returned by pick when the coordinator shut down.
+var errPoolClosed = errors.New("cluster: worker pool closed")
+
+// pool owns the worker set: health monitoring, placement and load
+// aggregation. Each worker gets its own monitor goroutine probing
+// /v1/cluster/health at the configured interval, backing off exponentially
+// (bounded at 16× the interval) while the worker stays unreachable so a dead
+// replica is not hammered, yet recovers within one interval once a probe
+// lands.
+type pool struct {
+	interval time.Duration
+	logf     func(string, ...any)
+	ctx      context.Context // cancelled by close; bounds in-flight probes
+	cancel   context.CancelFunc
+	wg       sync.WaitGroup
+
+	mu      sync.Mutex
+	workers []*worker
+	changed chan struct{} // closed and replaced whenever placement state improves
+}
+
+func newPool(workers []*worker, interval time.Duration, logf func(string, ...any)) *pool {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &pool{
+		interval: interval,
+		logf:     logf,
+		ctx:      ctx,
+		cancel:   cancel,
+		workers:  workers,
+		changed:  make(chan struct{}),
+	}
+	for _, w := range workers {
+		p.wg.Add(1)
+		go p.monitor(w)
+	}
+	return p
+}
+
+func (p *pool) close() {
+	p.cancel()
+	p.wg.Wait()
+}
+
+// broadcastLocked wakes every pick waiting for placement state to improve;
+// callers hold p.mu.
+func (p *pool) broadcastLocked() {
+	close(p.changed)
+	p.changed = make(chan struct{})
+}
+
+// monitor is one worker's health loop. A successful probe marks the worker
+// healthy, refreshes its load numbers and wakes waiting placements; a
+// failure marks it unhealthy immediately (placement stops at once) and
+// stretches the next probe exponentially up to the 16×interval bound.
+func (p *pool) monitor(w *worker) {
+	defer p.wg.Done()
+	delay := time.Duration(0) // first probe fires immediately
+	for {
+		select {
+		case <-p.ctx.Done():
+			return
+		case <-time.After(delay):
+		}
+		probeCtx, cancel := context.WithTimeout(p.ctx, p.probeTimeout())
+		h, err := w.client.health(probeCtx)
+		cancel()
+		if p.ctx.Err() != nil {
+			return
+		}
+		p.mu.Lock()
+		if err != nil {
+			wasHealthy := w.healthy
+			w.healthy = false
+			w.failures++
+			delay = p.backoff(w.failures)
+			p.mu.Unlock()
+			if wasHealthy {
+				p.logf("cluster: worker %s unhealthy: %v", w.name, err)
+			}
+			continue
+		}
+		recovered := !w.healthy && w.failures > 0
+		w.healthy = true
+		w.failures = 0
+		w.pending, w.running, w.slots = h.Pending, h.Running, h.Slots
+		p.broadcastLocked()
+		p.mu.Unlock()
+		if recovered {
+			p.logf("cluster: worker %s healthy again", w.name)
+		}
+		delay = p.interval
+	}
+}
+
+func (p *pool) probeTimeout() time.Duration {
+	if t := 2 * p.interval; t > time.Second {
+		return t
+	}
+	return time.Second
+}
+
+// backoff is the probe delay after n consecutive failures: interval ×
+// 2^(n-1), bounded at 16× the interval.
+func (p *pool) backoff(n int) time.Duration {
+	d := p.interval
+	for i := 1; i < n && d < 16*p.interval; i++ {
+		d *= 2
+	}
+	if d > 16*p.interval {
+		d = 16 * p.interval
+	}
+	return d
+}
+
+// pick reserves the least-loaded healthy worker (fewest coordinator-tracked
+// in-flight jobs, config order breaking ties), blocking until one is
+// available or ctx is done. The caller must pair it with release.
+func (p *pool) pick(ctx context.Context) (*worker, error) {
+	for {
+		p.mu.Lock()
+		var best *worker
+		for _, w := range p.workers {
+			if w.healthy && (best == nil || w.inflight < best.inflight) {
+				best = w
+			}
+		}
+		if best != nil {
+			best.inflight++
+			p.mu.Unlock()
+			return best, nil
+		}
+		ch := p.changed
+		p.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-p.ctx.Done():
+			return nil, errPoolClosed
+		}
+	}
+}
+
+// bind reserves the named worker regardless of its probed health — a
+// restarted coordinator re-attaches to journaled bindings before the first
+// probe round completes, and the follow loop's own retries sort out a
+// genuinely dead worker. Returns nil when the name is no longer configured
+// (the caller clears the binding and places afresh). Pair with release.
+func (p *pool) bind(name string) *worker {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, w := range p.workers {
+		if w.name == name {
+			w.inflight++
+			return w
+		}
+	}
+	return nil
+}
+
+// release returns a reservation taken by pick or bind and wakes placements
+// waiting for capacity.
+func (p *pool) release(w *worker) {
+	p.mu.Lock()
+	w.inflight--
+	p.broadcastLocked()
+	p.mu.Unlock()
+}
+
+// fail marks the worker unhealthy immediately (ahead of its next probe), so
+// a placement decision never follows a stream that just broke. The monitor
+// flips it back once a probe succeeds.
+func (p *pool) fail(w *worker) {
+	p.mu.Lock()
+	if w.healthy {
+		w.healthy = false
+		w.failures++
+	}
+	p.mu.Unlock()
+}
+
+// drainEstimate aggregates the healthy workers' last-probed queue depths and
+// slot counts — the cluster-wide numbers jobs.DrainEstimator feeds into
+// Retry-After hints. ok is false when no worker is healthy (the caller falls
+// back to the single-node formula).
+func (p *pool) drainEstimate() (queued, slots int, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, w := range p.workers {
+		if !w.healthy {
+			continue
+		}
+		queued += w.pending
+		slots += w.slots
+		ok = true
+	}
+	return queued, slots, ok
+}
+
+// WorkerStatus is one worker's row in the coordinator's /healthz report.
+type WorkerStatus struct {
+	Name     string `json:"name"`
+	Healthy  bool   `json:"healthy"`
+	InFlight int    `json:"in_flight"`
+	Pending  int    `json:"pending"`
+	Running  int    `json:"running"`
+	Slots    int    `json:"slots"`
+}
+
+// status reports every worker in config order.
+func (p *pool) status() []WorkerStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]WorkerStatus, 0, len(p.workers))
+	for _, w := range p.workers {
+		out = append(out, WorkerStatus{
+			Name:     w.name,
+			Healthy:  w.healthy,
+			InFlight: w.inflight,
+			Pending:  w.pending,
+			Running:  w.running,
+			Slots:    w.slots,
+		})
+	}
+	return out
+}

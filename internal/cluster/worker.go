@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"net/http"
+
+	"nasaic/internal/jobs"
+	"nasaic/internal/tenant"
+)
+
+// NewWorkerHandler wraps a worker replica's job manager for cluster duty:
+// the full /v1/jobs API (the same wire protocol standalone clients speak —
+// the coordinator is just another client) plus the internal
+// /v1/cluster/health load probe, all behind shared-key auth. The key is the
+// cluster credential (distinct from tenant API keys, which authenticate at
+// the coordinator and never reach workers); an empty key disables the gate
+// for trusted-network deployments. GET /healthz stays open and bare — the
+// standalone liveness contract — so orchestrators can probe workers without
+// holding the cluster key.
+func NewWorkerHandler(m *jobs.Manager, key string) http.Handler {
+	guard := clusterAuth(key)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.Handle("GET /v1/cluster/health", guard(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		pending, running, slots := m.Load()
+		writeJSON(w, http.StatusOK, workerHealth{
+			Status:  "ok",
+			Pending: pending,
+			Running: running,
+			Slots:   slots,
+		})
+	})))
+	mux.Handle("/v1/", guard(jobs.NewHandler(m)))
+	return mux
+}
+
+// clusterAuth gates a handler behind the cluster shared key, mirroring the
+// tenant middleware's contract: missing or malformed credentials are 401
+// with a WWW-Authenticate challenge, a well-formed key that does not match
+// is 403, and the comparison is constant-time over SHA-256 digests. An
+// empty configured key turns the gate off.
+func clusterAuth(key string) func(http.Handler) http.Handler {
+	if key == "" {
+		return func(next http.Handler) http.Handler { return next }
+	}
+	want := sha256.Sum256([]byte(key))
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			got := tenant.BearerKey(r.Header.Get("Authorization"))
+			if got == "" {
+				w.Header().Set("WWW-Authenticate", `Bearer realm="nasaicd-cluster"`)
+				writeJSON(w, http.StatusUnauthorized, apiError{Error: "cluster: missing or malformed Authorization bearer key"})
+				return
+			}
+			digest := sha256.Sum256([]byte(got))
+			if subtle.ConstantTimeCompare(digest[:], want[:]) != 1 {
+				writeJSON(w, http.StatusForbidden, apiError{Error: "cluster: unknown cluster key"})
+				return
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}

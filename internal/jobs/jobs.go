@@ -87,6 +87,32 @@ func (sp Spec) options() ([]nasaic.Option, error) {
 	return opts, nil
 }
 
+// Executor runs one granted job to completion. The default (nil) executor
+// runs the exploration in-process through pkg/nasaic; internal/cluster's
+// coordinator implements the same interface by dispatching the job to a
+// worker replica over HTTP and proxying its SSE event stream back. The
+// contract: Execute is called once the fair-share dispatcher grants the job a
+// slot (after setRunning), delivers episode events through j.EmitEvent (or an
+// event handler of its own), honours ctx cancellation, and returns the
+// terminal result — a ctx error maps to StatusCancelled, any other error to
+// StatusFailed, exactly like a local run.
+type Executor interface {
+	Execute(ctx context.Context, j *Job) (*nasaic.Result, error)
+}
+
+// DrainEstimator is optionally implemented by an Executor that knows about
+// queue capacity beyond this manager (a cluster coordinator aggregating its
+// workers). When present, quota rejections compute their Retry-After hint
+// from the cluster-wide backlog and slot count instead of the single-node
+// formula.
+type DrainEstimator interface {
+	// DrainEstimate returns the jobs queued beyond this manager and the
+	// total execution slots draining them; ok is false when no estimate is
+	// available (no healthy workers yet) and the caller falls back to the
+	// single-node formula.
+	DrainEstimate() (queued, slots int, ok bool)
+}
+
 // Options configures a Manager.
 type Options struct {
 	// MaxConcurrent bounds the jobs exploring at once; further submissions
@@ -140,6 +166,16 @@ type Options struct {
 	// limits; authentication itself happens in the HTTP layer. Nil means
 	// auth is off and every job belongs to the anonymous tenant.
 	Tenants *tenant.Registry
+	// Executor replaces the local in-process runner: granted jobs are handed
+	// to it instead of pkg/nasaic (cluster coordinators dispatch them to
+	// worker replicas). Nil selects the local runner — the standalone and
+	// worker behavior.
+	Executor Executor
+	// RunJob is a test seam: when set it replaces the engine for every job
+	// (and takes precedence over Executor), so scheduling-focused harnesses
+	// — fairness, soak, cluster soak — can substitute controllable fake work
+	// without paying for real explorations.
+	RunJob func(ctx context.Context, j *Job) (*nasaic.Result, error)
 }
 
 func (o Options) maxConcurrent() int {
@@ -267,12 +303,13 @@ type Manager struct {
 func NewManager(opts Options) *Manager {
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
-		opts:   opts,
-		logf:   opts.logf(),
-		ctx:    ctx,
-		cancel: cancel,
-		jobs:   make(map[string]*Job),
-		sched:  make(map[string]*tenantState),
+		opts:    opts,
+		logf:    opts.logf(),
+		ctx:     ctx,
+		cancel:  cancel,
+		jobs:    make(map[string]*Job),
+		sched:   make(map[string]*tenantState),
+		testRun: opts.RunJob,
 	}
 	if opts.ShareMemos {
 		m.shared = nasaic.NewSharedMemos()
@@ -354,11 +391,20 @@ func (m *Manager) recover(states []*journal.JobState) {
 			})
 		default:
 			// Pending or running at crash time: re-execute from the spec
-			// through the fair dispatcher, under the job's own tenant.
+			// through the fair dispatcher, under the job's own tenant. With a
+			// journaled cluster binding the run is still live on a worker
+			// replica, so keep the replayed event ring (SSE Last-Event-ID
+			// replay spans the restart) and let the cluster executor resume
+			// the worker's stream right after it; an unbound job starts with
+			// an empty ring and re-emits deterministically from seq 0.
 			jctx, jcancel := context.WithCancel(m.ctx)
 			j.status = StatusPending
 			j.cancel = jcancel
 			j.slot = make(chan struct{})
+			if st.Worker != "" && st.RemoteID != "" {
+				j.worker, j.remoteID = st.Worker, st.RemoteID
+				j.restoreEvents(st)
+			}
 			m.enqueueLocked(j, tn)
 			m.wg.Add(1)
 			go m.run(j, jctx)
@@ -627,16 +673,26 @@ func (m *Manager) release(j *Job) {
 
 // retryAfterLocked estimates when the tenant's next slot could free up: a
 // coarse one-second-per-queued-job-per-slot drain hint for the HTTP
-// Retry-After header. Callers hold m.mu.
+// Retry-After header. Callers hold m.mu. In cluster mode the executor knows
+// the real drain capacity — the 429 races happen when every worker is
+// saturated, so the estimate aggregates the workers' queue depths and slot
+// counts instead of reusing the single-node formula.
 func (m *Manager) retryAfterLocked(ts *tenantState) time.Duration {
 	slots := m.opts.maxConcurrent()
+	queued := ts.pending
+	if de, ok := m.opts.Executor.(DrainEstimator); ok {
+		if q, s, ok := de.DrainEstimate(); ok && s > 0 {
+			queued += q
+			slots = s
+		}
+	}
 	if lim := ts.maxConcurrent(); lim > 0 && lim < slots {
 		slots = lim
 	}
 	if slots < 1 {
 		slots = 1
 	}
-	return time.Duration(1+ts.pending/slots) * time.Second
+	return time.Duration(1+queued/slots) * time.Second
 }
 
 // run executes one job end to end on its own goroutine.
@@ -668,21 +724,47 @@ func (m *Manager) run(j *Job, ctx context.Context) {
 		return
 	}
 
+	j.setRunning()
+	res, err := m.executor().Execute(ctx, j)
+	j.finish(res, err)
+}
+
+// executor resolves the job runner: the configured one (cluster dispatch) or
+// the in-process engine.
+func (m *Manager) executor() Executor {
+	if m.opts.Executor != nil {
+		return m.opts.Executor
+	}
+	return localExecutor{m}
+}
+
+// localExecutor is the default Executor: the exploration runs in this
+// process through pkg/nasaic, sharing the manager's memo bundle and warm
+// tier, with episode events appended straight onto the job's ring.
+type localExecutor struct{ m *Manager }
+
+func (e localExecutor) Execute(ctx context.Context, j *Job) (*nasaic.Result, error) {
 	opts, err := j.Spec.options()
 	if err != nil { // unreachable: validated at submit
-		j.finish(nil, err)
-		return
+		return nil, err
 	}
-	if m.shared != nil {
-		opts = append(opts, nasaic.WithSharedMemos(m.shared))
+	if e.m.shared != nil {
+		opts = append(opts, nasaic.WithSharedMemos(e.m.shared))
 	}
-	if m.opts.CacheDir != "" {
-		opts = append(opts, nasaic.WithCacheDir(m.opts.CacheDir))
+	if e.m.opts.CacheDir != "" {
+		opts = append(opts, nasaic.WithCacheDir(e.m.opts.CacheDir))
 	}
 	opts = append(opts, nasaic.WithEventHandler(j.appendEvent))
-	j.setRunning()
-	res, err := nasaic.Run(ctx, opts...)
-	j.finish(res, err)
+	return nasaic.Run(ctx, opts...)
+}
+
+// Load reports the manager's current queue depth, running count and
+// concurrency slots — the worker-side numbers a cluster coordinator's
+// health probes aggregate for placement and Retry-After estimates.
+func (m *Manager) Load() (pending, running, slots int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.pending, m.running, m.opts.maxConcurrent()
 }
 
 // Get returns the job with the given ID (the manager's unscoped view).
@@ -857,6 +939,11 @@ type Job struct {
 	result   *nasaic.Result
 	err      error
 	changed  chan struct{} // closed and replaced on every state change
+	// worker/remoteID are the cluster binding: which worker replica runs the
+	// job and under which remote job ID. Journaled (TypeAssigned) so a
+	// restarted coordinator re-attaches instead of re-dispatching.
+	worker   string
+	remoteID string
 }
 
 // Snapshot is a point-in-time copy of a job's mutable state.
@@ -980,6 +1067,86 @@ func (j *Job) Wait(ctx context.Context) error {
 	}
 }
 
+// NextSeq returns the sequence number the next episode event will carry —
+// the resume point (Last-Event-ID + 1) a cluster coordinator streams a
+// worker replica from.
+func (j *Job) NextSeq() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.firstSeq + len(j.events)
+}
+
+// Assignment returns the job's cluster binding: the worker replica's base
+// URL and the remote job ID, or empty strings for an unbound (local) job.
+func (j *Job) Assignment() (worker, remoteID string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.worker, j.remoteID
+}
+
+// SetAssignment records the job→worker binding, journaling it before it
+// takes effect so a coordinator restart re-attaches to the in-flight remote
+// run. Empty strings clear the binding (the worker died; the job is being
+// re-dispatched and re-execution is safe because runs are deterministic).
+func (j *Job) SetAssignment(worker, remoteID string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.journal(journal.Record{Type: journal.TypeAssigned, Job: j.ID, Worker: worker, Remote: remoteID})
+	j.worker, j.remoteID = worker, remoteID
+}
+
+// EmitEvent records one remotely-produced episode event under its origin
+// sequence number. Duplicates below the ring head are dropped (a re-attached
+// or re-dispatched worker replays its deterministic prefix; the coordinator
+// already holds those events); a sequence jump means the worker evicted the
+// range before the coordinator could attach, so the local ring skips forward
+// — subscribers behind the gap see an explicit reset frame, exactly as for
+// local ring eviction. Events journal (canonical encoding, shared with the
+// SSE wire) before any subscriber can observe them.
+func (j *Job) EmitEvent(seq int, e nasaic.Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	next := j.firstSeq + len(j.events)
+	if seq < next {
+		return
+	}
+	if seq > next {
+		j.skipToLocked(seq)
+	}
+	if j.jn != nil {
+		if raw, err := nasaic.EncodeEvent(e); err == nil {
+			j.journal(journal.Record{Type: journal.TypeEvent, Job: j.ID, Seq: seq, Event: raw})
+		}
+	}
+	j.events = append(j.events, e)
+	if len(j.events) > j.maxEv {
+		drop := len(j.events) - j.maxEv
+		j.events = append(j.events[:0], j.events[drop:]...)
+		j.firstSeq += drop
+	}
+	j.notifyLocked()
+}
+
+// SkipTo acknowledges a gap announced by a worker's reset frame: events
+// [NextSeq, seq) are unrecoverable (evicted from the worker's bounded ring
+// while the coordinator was detached), so the local ring skips forward and
+// subscribers see the same reset. A seq at or behind NextSeq is a no-op.
+func (j *Job) SkipTo(seq int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if seq > j.firstSeq+len(j.events) {
+		j.skipToLocked(seq)
+		j.notifyLocked()
+	}
+}
+
+// skipToLocked drops the buffered prefix so the ring restarts (contiguous)
+// at seq; callers hold j.mu and have checked seq is ahead of the ring.
+func (j *Job) skipToLocked(seq int) {
+	j.events = j.events[:0]
+	j.firstSeq = seq
+}
+
 // journal appends one record to the durable journal (fsynced before
 // return), so the mutation it describes is on disk before it becomes
 // observable. Append failures degrade durability, never the job: they are
@@ -1002,6 +1169,27 @@ func (j *Job) restoreTerminal(st *journal.JobState, status Status) {
 	j.cancel = func() {} // nothing to cancel; Close/Cancel stay safe to call
 	j.started = orAfter(st.Started, j.created)
 	j.finished = orAfter(st.Finished, j.started)
+	j.restoreEvents(st)
+	switch {
+	case status == StatusCancelled:
+		j.err = context.Canceled
+	case st.Error != "":
+		j.err = errors.New(st.Error)
+	}
+	if len(st.Result) > 0 {
+		var res nasaic.Result
+		if err := json.Unmarshal(st.Result, &res); err != nil {
+			j.logf("jobs: recovery: job %s: dropping undecodable result: %v", j.ID, err)
+		} else {
+			j.result = &res
+		}
+	}
+}
+
+// restoreEvents rebuilds the event ring from a journaled state. Undecodable
+// events truncate the ring at the first bad entry rather than leaving a hole
+// mid-stream.
+func (j *Job) restoreEvents(st *journal.JobState) {
 	j.firstSeq = st.FirstSeq
 	for _, raw := range st.Events {
 		ev, err := nasaic.DecodeEvent(raw)
@@ -1016,20 +1204,6 @@ func (j *Job) restoreTerminal(st *journal.JobState, status Status) {
 		drop := len(j.events) - j.maxEv
 		j.events = append(j.events[:0], j.events[drop:]...)
 		j.firstSeq += drop
-	}
-	switch {
-	case status == StatusCancelled:
-		j.err = context.Canceled
-	case st.Error != "":
-		j.err = errors.New(st.Error)
-	}
-	if len(st.Result) > 0 {
-		var res nasaic.Result
-		if err := json.Unmarshal(st.Result, &res); err != nil {
-			j.logf("jobs: recovery: job %s: dropping undecodable result: %v", j.ID, err)
-		} else {
-			j.result = &res
-		}
 	}
 }
 

@@ -71,6 +71,13 @@ const (
 	// never arrive if the process dies first; recovery then settles the job
 	// as cancelled instead of re-executing it).
 	TypeCancel Type = "cancel"
+	// TypeAssigned records a job→worker binding: in cluster mode the
+	// coordinator journals which worker replica runs the job (and under which
+	// remote job ID) before it starts proxying events, so a restarted
+	// coordinator re-attaches to the in-flight remote run instead of
+	// re-dispatching it. An empty Worker clears the binding (the worker died
+	// and the job is about to be re-dispatched).
+	TypeAssigned Type = "assigned"
 	// TypeFinished records the terminal status, error and result.
 	TypeFinished Type = "finished"
 	// TypeForget drops a job from the journal's state (history eviction).
@@ -86,7 +93,11 @@ type Record struct {
 	Job  string `json:"job,omitempty"`
 	// Tenant names the submitting tenant (TypeSubmitted only); recovery
 	// re-attaches the job to it for quota accounting and API scoping.
-	Tenant string          `json:"tenant,omitempty"`
+	Tenant string `json:"tenant,omitempty"`
+	// Worker and Remote record a job→worker binding (TypeAssigned only): the
+	// worker replica's base URL and the job ID that replica assigned.
+	Worker string          `json:"worker,omitempty"`
+	Remote string          `json:"remote,omitempty"`
 	Time   time.Time       `json:"time,omitzero"`
 	Seq    int             `json:"seq,omitempty"`
 	Status string          `json:"status,omitempty"`
@@ -112,6 +123,11 @@ type JobState struct {
 	Started         time.Time       `json:"started,omitzero"`
 	Finished        time.Time       `json:"finished,omitzero"`
 	CancelRequested bool            `json:"cancel_requested,omitempty"`
+	// Worker/RemoteID are the job's cluster binding: the worker replica the
+	// coordinator dispatched it to and the job ID that replica assigned.
+	// Empty for locally-executed jobs (standalone and worker mode).
+	Worker   string `json:"worker,omitempty"`
+	RemoteID string `json:"remote,omitempty"`
 	// FirstSeq is the sequence number of Events[0]; events below it were
 	// evicted from the bounded ring.
 	FirstSeq int               `json:"first_seq,omitempty"`
@@ -682,6 +698,14 @@ func (j *Journal) applyLocked(rec Record) {
 			return
 		}
 		st.CancelRequested = true
+	case TypeAssigned:
+		// Re-assignments overwrite (last writer wins: the newest binding is
+		// the live one); a binding on a terminal job is meaningless and kept
+		// out so recovery never tries to re-attach a settled job.
+		if st == nil || st.Terminal() {
+			return
+		}
+		st.Worker, st.RemoteID = rec.Worker, rec.Remote
 	case TypeFinished:
 		if st == nil {
 			return

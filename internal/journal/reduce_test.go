@@ -94,6 +94,57 @@ func TestReduceCancelBeforeTerminalStillSettles(t *testing.T) {
 	}
 }
 
+// TestReduceAssignedBinding pins the cluster assignment record: the newest
+// job→worker binding wins, an empty-worker record clears it, bindings on
+// terminal jobs are ignored, and a live binding survives replay and
+// compaction (that is what lets a restarted coordinator re-attach).
+func TestReduceAssignedBinding(t *testing.T) {
+	fs := faultfs.NewMem(faultfs.Faults{})
+	j, err := Open("data/journal", Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range []Record{
+		{Type: TypeSubmitted, Job: "job-1", Time: t0, Spec: raw(`{"workload":"W3"}`)},
+		{Type: TypeAssigned, Job: "job-1", Worker: "http://w1:8080", Remote: "job-7"},
+		{Type: TypeAssigned, Job: "job-1", Worker: "", Remote: ""}, // w1 died: binding cleared
+		{Type: TypeAssigned, Job: "job-1", Worker: "http://w2:8080", Remote: "job-3"},
+		{Type: TypeSubmitted, Job: "job-2", Time: t0, Spec: raw(`{"workload":"W1"}`)},
+		{Type: TypeFinished, Job: "job-2", Time: t0.Add(time.Minute), Status: "succeeded"},
+		{Type: TypeAssigned, Job: "job-2", Worker: "http://w1:8080", Remote: "job-9"}, // raced the finish
+	} {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check := func(j *Journal, when string) {
+		t.Helper()
+		states := j.States()
+		if len(states) != 2 {
+			t.Fatalf("%s: %d states", when, len(states))
+		}
+		if states[0].Worker != "http://w2:8080" || states[0].RemoteID != "job-3" {
+			t.Fatalf("%s: job-1 binding %q/%q, want the re-dispatch to w2",
+				when, states[0].Worker, states[0].RemoteID)
+		}
+		if states[1].Worker != "" || states[1].RemoteID != "" {
+			t.Fatalf("%s: terminal job-2 grew binding %q/%q", when, states[1].Worker, states[1].RemoteID)
+		}
+	}
+	check(j, "live")
+	j.Compact()
+	check(j, "post-compaction")
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := Open("data/journal", Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	check(j2, "replay")
+}
+
 // TestTenantFieldRoundTrips pins the tenancy plumbing through the journal:
 // the submitted record's tenant survives reduction, replay and compaction.
 func TestTenantFieldRoundTrips(t *testing.T) {
