@@ -7,6 +7,10 @@
 // Pass -paper for the full §V-A search budget (β=500, 10,000 Monte Carlo
 // runs) or use the default quick budget that preserves the result shapes.
 // -csv writes a machine-readable copy next to the printed table.
+//
+// Tables are bit-identical across runs, hosts and cache temperatures (CI
+// diffs warm vs cold regenerations); the determinism rules behind that are
+// machine-checked by the cmd/nasaiclint analyzers via `go vet -vettool`.
 package main
 
 import (

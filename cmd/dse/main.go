@@ -5,7 +5,9 @@
 //	dse -fig 6 -workload W1       # Fig. 6 panels (W1, W2 or W3)
 //
 // Each run prints an ASCII latency-energy projection and, with -out, writes
-// the full 3-D point series as CSV for external plotting.
+// the full 3-D point series as CSV for external plotting. Point series are
+// deterministic per seed — an invariant machine-checked by the
+// cmd/nasaiclint analyzers (CI runs them via `go vet -vettool`).
 package main
 
 import (

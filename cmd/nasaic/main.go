@@ -3,6 +3,11 @@
 // pair together with the exploration statistics. It is a thin shell over the
 // public pkg/nasaic API — the same code path cmd/nasaicd serves over HTTP.
 //
+// Runs are deterministic per seed: bit-identical across hosts, worker
+// counts and cache states. That invariant is machine-checked by the
+// cmd/nasaiclint analyzers (run in CI via `go vet -vettool`) on top of the
+// differential test suites.
+//
 // Usage:
 //
 //	nasaic -workload W1 [-episodes 500] [-seed 1] [-top 5] [-quiet] [-progress]

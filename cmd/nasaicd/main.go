@@ -63,6 +63,11 @@
 // to 4× the worker count instead of 2, since slots only bound dispatch
 // fan-out, not local CPU.
 //
+// The daemon's core invariants — deterministic results, journal-before-
+// publish without fsyncing under Manager.mu, end-to-end context plumbing,
+// no IO under hot locks — are machine-checked by the cmd/nasaiclint
+// analyzers, which CI runs via `go vet -vettool` before any test.
+//
 // API:
 //
 //	POST   /v1/jobs             {"workload":"W3","episodes":150,"seed":1}

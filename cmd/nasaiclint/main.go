@@ -1,0 +1,33 @@
+// Nasaiclint machine-checks the repository's correctness invariants as a
+// `go vet` tool: determinism of every result-affecting path, journal-
+// before-publish locking hygiene, context plumbing, and no IO under hot
+// locks. The rules it enforces statically are the same invariants the
+// differential/determinism test suites pin dynamically; see
+// internal/analysis for the catalogue.
+//
+// Usage:
+//
+//	go build -o bin/nasaiclint ./cmd/nasaiclint
+//	go vet -vettool=bin/nasaiclint ./...
+//
+// or equivalently, standalone (it re-execs go vet under the hood):
+//
+//	bin/nasaiclint ./...
+//
+// A diagnostic is suppressed — with a mandatory reason — by a trailing or
+// preceding comment:
+//
+//	t := time.Now() //lint:allow determinism heartbeat timestamp, never in results
+//
+// Reason-less or stale (nothing-suppressing) directives are errors
+// themselves, so the allowlist cannot rot.
+package main
+
+import (
+	"nasaic/internal/analysis"
+	"nasaic/internal/analysis/framework"
+)
+
+func main() {
+	framework.Main(analysis.Suite()...)
+}

@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"nasaic/internal/analysis/framework"
+)
+
+// ctxPkgs are the packages whose public operations are context-first: every
+// long-running path must be cancellable end to end.
+var ctxPkgs = []string{
+	"internal/core",
+	"internal/sched",
+	"internal/jobs",
+	"internal/cluster",
+}
+
+// CtxPlumb enforces the context-plumbing discipline in ctx-first packages.
+var CtxPlumb = &framework.Analyzer{
+	Name: "ctxplumb",
+	Doc: `enforce context plumbing in ctx-first packages
+
+Inside ` + "`internal/{core,sched,jobs,cluster}`" + ` (tests exempt):
+context.Background() and context.TODO() sever the caller's cancellation
+chain and are flagged — thread the caller's ctx, or annotate deliberate
+roots (compat shims for non-ctx APIs, daemon lifecycle contexts) with
+//lint:allow ctxplumb <reason>. Exported loop-bearing functions that
+accept a context.Context but never consult it (no Done/Err poll, never
+passed on) are flagged too: they advertise cancellability they don't
+deliver.`,
+	Run: runCtxPlumb,
+}
+
+func runCtxPlumb(pass *framework.Pass) error {
+	if !framework.InAnyPkg(pass.PkgPath, ctxPkgs) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				fn := framework.CalleeFunc(pass.TypesInfo, call)
+				if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "context" &&
+					(fn.Name() == "Background" || fn.Name() == "TODO") {
+					pass.Reportf(call.Pos(), "context.%s severs the caller's cancellation chain in a ctx-first package: thread the caller's ctx or //lint:allow ctxplumb <reason>", fn.Name())
+				}
+			}
+			return true
+		})
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				checkCtxLoop(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// checkCtxLoop flags exported loop-bearing functions whose context
+// parameter is never consulted.
+func checkCtxLoop(pass *framework.Pass, fd *ast.FuncDecl) {
+	if !fd.Name.IsExported() || fd.Body == nil || fd.Type.Params == nil {
+		return
+	}
+
+	// Collect context.Context parameters.
+	var ctxObjs []types.Object
+	unnamedCtx := false
+	for _, field := range fd.Type.Params.List {
+		if !isContextType(pass.TypesInfo.TypeOf(field.Type)) {
+			continue
+		}
+		if len(field.Names) == 0 {
+			unnamedCtx = true
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				unnamedCtx = true
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				ctxObjs = append(ctxObjs, obj)
+			}
+		}
+	}
+	if len(ctxObjs) == 0 && !unnamedCtx {
+		return
+	}
+
+	hasLoop := false
+	used := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			hasLoop = true
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[n]; obj != nil {
+				for _, c := range ctxObjs {
+					if obj == c {
+						used = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	if hasLoop && !used {
+		pass.Reportf(fd.Name.Pos(), "exported %s loops but never consults its context.Context parameter: poll ctx.Err/Done in the loop or pass ctx to the work it calls", fd.Name.Name)
+	}
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"nasaic/internal/analysis"
+	"nasaic/internal/analysis/framework"
+)
+
+// TestCtxPlumbFixtures proves the ctxplumb analyzer flags detached
+// contexts and exported loop-bearing functions that ignore their ctx,
+// while accepting polling loops, delegating loops, unexported helpers,
+// loop-free functions and reasoned allows.
+func TestCtxPlumbFixtures(t *testing.T) {
+	framework.RunFixture(t, "testdata", "a/internal/cluster", analysis.CtxPlumb)
+}

@@ -1,0 +1,270 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"nasaic/internal/analysis/framework"
+)
+
+// resultPkgs are the packages whose outputs feed results, journal records or
+// rendered tables — the bit-identical-everywhere surface. The determinism
+// analyzer enforces its rules only inside these (suffix-matched, so test
+// fixtures scope identically).
+var resultPkgs = []string{
+	"internal/sched",
+	"internal/core",
+	"internal/nn",
+	"internal/rl",
+	"internal/maestro",
+	"internal/stats",
+}
+
+// Determinism rejects sources of run-to-run or host-to-host divergence in
+// result-affecting packages: wall clocks, the global math/rand stream,
+// fused multiply-add, and map iteration whose order can leak into results.
+var Determinism = &framework.Analyzer{
+	Name: "determinism",
+	Doc: `forbid nondeterminism sources in result-affecting packages
+
+Flags, inside ` + "`internal/{sched,core,nn,rl,maestro,stats}`" + `:
+wall-clock reads (time.Now/Since/Until), global math/rand functions
+(seeded process-wide; use stats.RNG streams), math.FMA (fuses with a
+different rounding than separate multiply+add, so results differ across
+architectures), and range-over-map loops whose body is order-sensitive:
+appending to a slice that is not sorted afterwards, sending on a channel,
+accumulating floats or strings with compound assignment (float addition
+is not associative), or returning a value derived from the iteration
+variables. Wall-clock call sites that only feed metrics or backoff can be
+suppressed with //lint:allow determinism <reason>.`,
+	Run: runDeterminism,
+}
+
+func runDeterminism(pass *framework.Pass) error {
+	if !framework.InAnyPkg(pass.PkgPath, resultPkgs) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkDeterminismCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n, stack)
+			}
+		})
+	}
+	return nil
+}
+
+func checkDeterminismCall(pass *framework.Pass, call *ast.CallExpr) {
+	fn := framework.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	name := fn.Name()
+	switch fn.Pkg().Path() {
+	case "time":
+		switch name {
+		case "Now", "Since", "Until":
+			pass.Reportf(call.Pos(), "wall-clock time.%s in a result-affecting package: results must be bit-identical across runs and hosts", name)
+		}
+	case "math":
+		if name == "FMA" {
+			pass.Reportf(call.Pos(), "math.FMA rounds differently from separate multiply+add and is not used by the portable kernels; results would diverge across architectures")
+		}
+	case "math/rand", "math/rand/v2":
+		if fn.Signature().Recv() != nil {
+			return // methods on an explicit *rand.Rand stream are fine
+		}
+		switch name {
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			return // constructors over explicit seeds/sources
+		}
+		pass.Reportf(call.Pos(), "global math/rand.%s draws from the shared process-wide stream: use a seeded stats.RNG (or rand.New) so worker interleaving cannot change results", name)
+	}
+}
+
+// checkMapRange flags order-sensitive bodies of range-over-map loops.
+func checkMapRange(pass *framework.Pass, rng *ast.RangeStmt, stack []ast.Node) {
+	info := pass.TypesInfo
+	t := info.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+
+	// The loop's iteration variables; a returned value mentioning one of
+	// them is an order-dependent choice.
+	iterVars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.Defs[id]; obj != nil {
+				iterVars[obj] = true
+			} else if obj := info.Uses[id]; obj != nil {
+				iterVars[obj] = true
+			}
+		}
+	}
+
+	rest := stmtsAfter(stack, rng)
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send inside range over map: receivers observe map iteration order; iterate a sorted key slice instead")
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if mentionsAny(info, res, iterVars) {
+					pass.Reportf(n.Pos(), "return inside range over map depends on which entry is visited first; iterate sorted keys so the returned value is deterministic")
+					break
+				}
+			}
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, n, rest)
+		}
+		return true
+	})
+}
+
+// checkMapRangeAssign flags order-sensitive accumulation statements inside
+// a map-range body. rest is the statement tail following the loop in its
+// enclosing block, used to excuse the collect-then-sort idiom.
+func checkMapRangeAssign(pass *framework.Pass, as *ast.AssignStmt, rest []ast.Stmt) {
+	info := pass.TypesInfo
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		t := info.TypeOf(as.Lhs[0])
+		if t == nil {
+			return
+		}
+		if b, ok := t.Underlying().(*types.Basic); ok {
+			switch {
+			case b.Info()&types.IsFloat != 0 || b.Info()&types.IsComplex != 0:
+				pass.Reportf(as.Pos(), "floating-point accumulation inside range over map: float addition is not associative, so iteration order changes the sum; iterate sorted keys")
+			case as.Tok == token.ADD_ASSIGN && b.Info()&types.IsString != 0:
+				pass.Reportf(as.Pos(), "string concatenation inside range over map concatenates in iteration order; iterate sorted keys")
+			}
+		}
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(info, call) {
+				continue
+			}
+			var target types.Object
+			if i < len(as.Lhs) {
+				if id, ok := as.Lhs[i].(*ast.Ident); ok {
+					target = info.ObjectOf(id)
+				}
+			}
+			if target != nil && sortedLater(info, rest, target) {
+				continue // collect-then-sort: deterministic overall
+			}
+			pass.Reportf(as.Pos(), "append inside range over map records entries in iteration order; sort the result afterwards or iterate sorted keys")
+		}
+	}
+}
+
+// isBuiltinAppend reports whether call invokes the append built-in.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortedLater reports whether some statement in rest passes obj to a
+// sort.* or slices.Sort* call, excusing the collect-then-sort idiom.
+func sortedLater(info *types.Info, rest []ast.Stmt, obj types.Object) bool {
+	for _, st := range rest {
+		found := false
+		ast.Inspect(st, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			fn := framework.CalleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "sort", "slices":
+			default:
+				return true
+			}
+			for _, arg := range call.Args {
+				if mentionsAny(info, arg, map[types.Object]bool{obj: true}) {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// mentionsAny reports whether expr references any object in objs.
+func mentionsAny(info *types.Info, expr ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && !found {
+			if obj := info.Uses[id]; obj != nil && objs[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// stmtsAfter locates n's enclosing statement within the innermost block on
+// the stack and returns the statements that follow it.
+func stmtsAfter(stack []ast.Node, n ast.Stmt) []ast.Stmt {
+	var target ast.Stmt = n
+	for i := len(stack) - 1; i >= 0; i-- {
+		var list []ast.Stmt
+		switch blk := stack[i].(type) {
+		case *ast.BlockStmt:
+			list = blk.List
+		case *ast.CaseClause:
+			list = blk.Body
+		case *ast.CommClause:
+			list = blk.Body
+		case *ast.LabeledStmt:
+			target = blk // a labeled loop is indexed by its label statement
+			continue
+		default:
+			continue
+		}
+		for j, st := range list {
+			if st == target {
+				return list[j+1:]
+			}
+		}
+	}
+	return nil
+}
+
+// inspectWithStack is ast.Inspect with the path of ancestor nodes.
+func inspectWithStack(f *ast.File, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}

@@ -1,0 +1,23 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"nasaic/internal/analysis"
+	"nasaic/internal/analysis/framework"
+)
+
+// TestDeterminismFixtures proves the determinism analyzer fires on every
+// known bug shape inside a result-affecting package: wall clocks, global
+// math/rand, math.FMA, and order-sensitive map iteration — and stays quiet
+// on the deterministic counterparts (seeded streams, collect-then-sort,
+// integer accumulation, slice iteration).
+func TestDeterminismFixtures(t *testing.T) {
+	framework.RunFixture(t, "testdata", "a/internal/sched", analysis.Determinism)
+}
+
+// TestDeterminismOutOfScope proves the same shapes produce no diagnostics
+// outside the result-affecting package set.
+func TestDeterminismOutOfScope(t *testing.T) {
+	framework.RunFixture(t, "testdata", "a/notresult", analysis.Determinism)
+}

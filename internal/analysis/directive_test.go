@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"nasaic/internal/analysis"
+	"nasaic/internal/analysis/framework"
+)
+
+// TestDirectiveLayer proves the //lint:allow machinery itself: a directive
+// without a reason is rejected, an unknown analyzer name is rejected, a
+// well-formed directive suppresses exactly its diagnostic, and a directive
+// that suppresses nothing is flagged as stale.
+func TestDirectiveLayer(t *testing.T) {
+	framework.RunFixture(t, "testdata", "a/internal/rl", analysis.Determinism)
+}

@@ -1,0 +1,79 @@
+// Package analysis is nasaiclint's invariant suite: custom static
+// analyzers that machine-check, at build time, the correctness rules the
+// repository's differential and determinism test suites pin dynamically.
+// The analyzers run through the go/analysis-compatible framework in the
+// framework subpackage (stdlib-only; see its doc for why x/tools is not
+// imported) and ship in the cmd/nasaiclint multichecker, wired into CI as
+// `go vet -vettool` before any test runs.
+//
+// # Rule catalogue
+//
+// Each rule encodes an invariant and names the dynamic suite that pins the
+// same invariant after the fact; the analyzer rejects the violating code
+// before it runs.
+//
+// determinism — results are bit-identical everywhere: across runs, hosts,
+// worker counts, cache modes and restarts. Pinned dynamically by the
+// determinism suites (internal/core TestDeterministicAcrossWorkers and
+// friends), the solver reference differentials (internal/sched
+// differential_test.go, bnb_reference_test.go), the batched-vs-sequential
+// RL differentials (internal/rl, internal/nn) and the golden Table I/II
+// renderings (internal/experiments). Statically, inside the
+// result-affecting packages internal/{sched,core,nn,rl,maestro,stats} the
+// analyzer forbids wall-clock reads (time.Now/Since/Until), global
+// math/rand draws (process-wide stream ⇒ worker interleaving leaks into
+// results; use stats.RNG), math.FMA (fused rounding differs across
+// architectures), and range-over-map bodies whose effect depends on
+// iteration order: appends not followed by a sort of the collected slice,
+// channel sends, float/string compound accumulation, and returns derived
+// from the iteration variables.
+//
+// journallock — journal-before-publish, but never journal-under-lock.
+// Pinned dynamically by the jobs crash/recovery suites (internal/jobs
+// restart and fault-injection tests) and the PR 8 regression test that
+// stalls every fsync and asserts Get/List stay prompt while Submit blocks.
+// Statically, a mutex field annotated `//lint:guard journal` must never be
+// held across internal/journal's mutating entry points (Append
+// group-commits an fsync), an internal/faultfs or os.File Sync, or a
+// package-local function that transitively calls one. The exact PR 8 bug —
+// jobs.Manager.Submit journaling while holding Manager.mu — is the
+// analyzer's canonical failing fixture (testdata/src/a/jm).
+//
+// ctxplumb — cancellation is end-to-end: every public operation in
+// internal/{core,sched,jobs,cluster} threads its caller's context. Pinned
+// dynamically by the cancellation suites (sched ctx tests, core
+// mid-run/deadline/goroutine-leak checks, facade cancel tests, jobs/cluster
+// cancel-and-stream tests). Statically the analyzer flags
+// context.Background()/context.TODO() outside tests (deliberate roots —
+// non-ctx compat shims, daemon lifecycle contexts, detached cleanup — carry
+// reasoned //lint:allow directives) and exported loop-bearing functions
+// that accept a context but never consult it.
+//
+// lockio — no IO under hot locks. Pinned dynamically by the SSE
+// stalled-reader teardown tests and the multi-tenant soak's
+// time-to-running bounds (a log or network write under jobs.Manager.mu
+// would stretch them). Statically, a mutex annotated `//lint:guard io`
+// must never be held across package log calls, logf/Logf function values
+// or methods (the daemon's injectable loggers), http.ResponseWriter writes
+// or net.Conn writes.
+//
+// # Suppression
+//
+// A diagnostic is suppressed by a same-line or preceding-line comment
+//
+//	//lint:allow <analyzer> <reason>
+//
+// The reason is mandatory, the analyzer name must exist, and a directive
+// that suppresses nothing is itself an error ("lintdirective") — the
+// allowlist cannot rot silently. Tests (_test.go files) are exempt from
+// every rule.
+//
+// # Running
+//
+//	go build -o bin/nasaiclint ./cmd/nasaiclint
+//	go vet -vettool=bin/nasaiclint ./...
+//
+// Fixtures under testdata/src/... prove every rule fires on its known bug
+// shapes and stays quiet on the sanctioned patterns; see the *_test.go
+// files for the catalogue of shapes.
+package analysis

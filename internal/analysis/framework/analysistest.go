@@ -1,0 +1,193 @@
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// RunFixture is this framework's analysistest.Run: it loads the fixture
+// package rooted at <testdata>/src/<pkgPath>, type-checks it (imports
+// resolve against sibling fixture packages first — including tiny stubs of
+// stdlib packages like sync or time, which keeps fixtures hermetic and fast
+// — then against the real standard library compiled from source), runs the
+// analyzers through the same driver `go vet` uses (so //lint:allow
+// filtering and lintdirective problems behave identically), and compares
+// the result against `// want "regexp"` comment expectations.
+//
+// Expectation syntax, matching x/tools analysistest:
+//
+//	code() // want "first regexp" "second regexp"
+//
+// Each quoted pattern must match a distinct diagnostic reported on that
+// line; diagnostics with no matching want, and wants with no matching
+// diagnostic, fail the test.
+func RunFixture(t *testing.T, testdata, pkgPath string, analyzers ...*Analyzer) {
+	t.Helper()
+	ld := &fixtureLoader{
+		root: filepath.Join(testdata, "src"),
+		fset: token.NewFileSet(),
+		pkgs: map[string]*loadedPkg{},
+	}
+	lp, err := ld.load(pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgPath, err)
+	}
+	diags, err := Run(ld.fset, lp.files, lp.pkg, lp.info, pkgPath, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", pkgPath, err)
+	}
+	checkWants(t, ld.fset, lp.files, diags)
+}
+
+// loadedPkg is one type-checked fixture package.
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+type fixtureLoader struct {
+	root string
+	fset *token.FileSet
+	pkgs map[string]*loadedPkg
+	// fallback lazily holds a source-mode importer for real stdlib packages
+	// a fixture imports without stubbing.
+	fallback types.Importer
+}
+
+func (ld *fixtureLoader) load(pkgPath string) (*loadedPkg, error) {
+	if lp, ok := ld.pkgs[pkgPath]; ok {
+		return lp, nil
+	}
+	dir := filepath.Join(ld.root, filepath.FromSlash(pkgPath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	info := NewTypesInfo()
+	tc := &types.Config{Importer: importerFunc(ld.importPkg)}
+	pkg, err := tc.Check(pkgPath, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking %s: %w", pkgPath, err)
+	}
+	lp := &loadedPkg{pkg: pkg, files: files, info: info}
+	ld.pkgs[pkgPath] = lp
+	return lp, nil
+}
+
+func (ld *fixtureLoader) importPkg(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, err := os.Stat(filepath.Join(ld.root, filepath.FromSlash(path))); err == nil {
+		lp, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return lp.pkg, nil
+	}
+	if ld.fallback == nil {
+		ld.fallback = importer.ForCompiler(ld.fset, "source", nil)
+	}
+	return ld.fallback.Import(path)
+}
+
+// want is one expectation parsed from a `// want` comment.
+type want struct {
+	file    string
+	line    int
+	pattern string
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// checkWants compares diagnostics against the fixtures' // want comments.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []PositionedDiagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// A want marker may open the comment or trail other text
+				// (e.g. after a //lint: directive under test).
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					idx = strings.Index(c.Text, "//want ")
+				}
+				if idx < 0 {
+					continue
+				}
+				body := c.Text[idx:]
+				posn := fset.Position(c.Pos())
+				for _, q := range wantRE.FindAllString(body, -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %s: %v", posn, q, err)
+						continue
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", posn, pat, err)
+						continue
+					}
+					wants = append(wants, &want{file: posn.Filename, line: posn.Line, pattern: pat, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		hit := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Posn.Filename || w.line != d.Posn.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.pattern)
+		}
+	}
+}

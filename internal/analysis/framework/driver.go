@@ -1,0 +1,191 @@
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// DirectiveName is the analyzer name under which problems with //lint:
+// directives themselves (a missing reason, an unknown rule) are reported.
+// Directive problems are never suppressible.
+const DirectiveName = "lintdirective"
+
+// A PositionedDiagnostic is a diagnostic resolved to a concrete file
+// position, ready for printing or comparison against test expectations.
+type PositionedDiagnostic struct {
+	Posn     token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d PositionedDiagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Posn, d.Message, d.Analyzer)
+}
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	posn     token.Position // position of the comment itself
+	analyzer string
+	used     bool
+}
+
+// Run applies every analyzer (plus the //lint:allow directive layer) to one
+// type-checked package and returns the surviving diagnostics sorted by
+// position. Suppression and exemption rules, in order:
+//
+//   - diagnostics positioned in _test.go files are dropped: tests may use
+//     wall clocks, ad-hoc contexts and unordered iteration freely;
+//   - a diagnostic on line L of file F is suppressed by a
+//     `//lint:allow <analyzer> <reason>` comment on line L (trailing) or
+//     line L-1 (preceding) of F naming its analyzer;
+//   - an allow directive with no reason, or naming no known analyzer, is
+//     itself a diagnostic (analyzer "lintdirective"), as is a directive
+//     that suppressed nothing — stale allowlist entries fail the build.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, pkgPath string, analyzers []*Analyzer) ([]PositionedDiagnostic, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var out []PositionedDiagnostic
+	allows, dirProblems := parseAllows(fset, files, known)
+
+	var raw []PositionedDiagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			PkgPath:   pkgPath,
+			report: func(d Diagnostic) {
+				raw = append(raw, PositionedDiagnostic{
+					Posn:     fset.Position(d.Pos),
+					Analyzer: d.Analyzer,
+					Message:  d.Message,
+				})
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+
+	for _, d := range raw {
+		if strings.HasSuffix(d.Posn.Filename, "_test.go") {
+			continue
+		}
+		if suppressed(allows, d) {
+			continue
+		}
+		out = append(out, d)
+	}
+	out = append(out, dirProblems...)
+	for _, dir := range allows {
+		if !dir.used && !strings.HasSuffix(dir.posn.Filename, "_test.go") {
+			out = append(out, PositionedDiagnostic{
+				Posn:     dir.posn,
+				Analyzer: DirectiveName,
+				Message:  fmt.Sprintf("unused //lint:allow %s directive: no %s diagnostic on this or the next line", dir.analyzer, dir.analyzer),
+			})
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Posn, out[j].Posn
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Message < out[j].Message
+	})
+	return out, nil
+}
+
+// parseAllows extracts every //lint:allow directive, reporting malformed
+// ones (missing reason, unknown analyzer) as lintdirective diagnostics.
+// Directives inside _test.go files are ignored entirely.
+func parseAllows(fset *token.FileSet, files []*ast.File, known map[string]bool) ([]*allowDirective, []PositionedDiagnostic) {
+	var allows []*allowDirective
+	var problems []PositionedDiagnostic
+	for _, f := range files {
+		fname := fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(fname, "_test.go") {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+				if !ok {
+					continue
+				}
+				// Fixture `// want` markers embedded in the comment are
+				// harness expectations, not part of the directive.
+				if i := strings.Index(text, "// want"); i >= 0 {
+					text = text[:i]
+				}
+				posn := fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					problems = append(problems, PositionedDiagnostic{
+						Posn:     posn,
+						Analyzer: DirectiveName,
+						Message:  "malformed //lint:allow: want //lint:allow <analyzer> <reason>",
+					})
+					continue
+				}
+				name := fields[0]
+				if !known[name] {
+					names := make([]string, 0, len(known))
+					for k := range known {
+						names = append(names, k)
+					}
+					sort.Strings(names)
+					problems = append(problems, PositionedDiagnostic{
+						Posn:     posn,
+						Analyzer: DirectiveName,
+						Message:  fmt.Sprintf("//lint:allow names unknown analyzer %q (known: %s)", name, strings.Join(names, ", ")),
+					})
+					continue
+				}
+				if len(fields) < 2 {
+					problems = append(problems, PositionedDiagnostic{
+						Posn:     posn,
+						Analyzer: DirectiveName,
+						Message:  fmt.Sprintf("//lint:allow %s is missing a reason: every suppression must say why it is safe", name),
+					})
+					continue
+				}
+				allows = append(allows, &allowDirective{posn: posn, analyzer: name})
+			}
+		}
+	}
+	return allows, problems
+}
+
+// suppressed reports (and marks) whether an allow directive covers d: same
+// file, naming d's analyzer, on d's line (trailing comment) or the line
+// immediately above (preceding comment).
+func suppressed(allows []*allowDirective, d PositionedDiagnostic) bool {
+	hit := false
+	for _, a := range allows {
+		if a.analyzer != d.Analyzer || a.posn.Filename != d.Posn.Filename {
+			continue
+		}
+		if a.posn.Line == d.Posn.Line || a.posn.Line == d.Posn.Line-1 {
+			a.used = true
+			hit = true
+		}
+	}
+	return hit
+}

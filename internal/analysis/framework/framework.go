@@ -1,0 +1,119 @@
+// Package framework is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis surface that nasaiclint's analyzers are
+// written against. The container this repository builds in has no module
+// proxy access, so the real x/tools module cannot be fetched; this package
+// provides the same three-part contract on the standard library alone:
+//
+//   - Analyzer / Pass / Diagnostic types mirroring go/analysis (framework.go)
+//   - a `go vet -vettool` unit-checker driver speaking cmd/go's vet.cfg
+//     JSON protocol, plus a standalone mode that re-execs `go vet`
+//     (unitchecker.go)
+//   - an analysistest-style fixture harness driven by `// want "regexp"`
+//     comments under testdata/src (analysistest.go)
+//
+// The deliberate omissions relative to x/tools are facts (cross-package
+// analysis state) and SSA: every analyzer in this repository is intra-package
+// and AST/type-info driven, so neither is needed. If the module proxy ever
+// becomes reachable, porting the analyzers to the real go/analysis is a
+// mechanical rename: the field and method names match.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one invariant check. It mirrors
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow <name> <reason> suppression directives.
+	Name string
+
+	// Doc is the analyzer's documentation: first line is a summary.
+	Doc string
+
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzed package to an Analyzer's Run function.
+type Pass struct {
+	Analyzer *Analyzer
+
+	// Fset positions every file in Files.
+	Fset *token.FileSet
+
+	// Files are the parsed source files of the package under analysis,
+	// including any in-package _test.go files when driven by `go vet`
+	// (diagnostics positioned in _test.go files are dropped by the driver;
+	// tests are exempt from every rule in this suite).
+	Files []*ast.File
+
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+
+	// TypesInfo holds type information for the package's syntax trees.
+	TypesInfo *types.Info
+
+	// PkgPath is the unit's import path with any test-variant decoration
+	// (`pkg [pkg.test]`) trimmed. Path-scoped analyzers match suffixes of
+	// this, so fixtures under testdata/src/nasaic/internal/... scope
+	// exactly like the real tree.
+	PkgPath string
+
+	report func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos using fmt formatting.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Analyzer: p.Analyzer.Name, Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one reported problem.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// CalleeFunc resolves the static callee of call, or nil if the callee is not
+// a declared function or method (conversions, function-typed variables,
+// built-ins). Shared by every analyzer in the suite.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// IsPkgSuffix reports whether pkgPath is path (exactly) or ends with
+// "/"+path — e.g. IsPkgSuffix("nasaic/internal/sched", "internal/sched").
+// Matching by suffix lets test fixtures under testdata/src reproduce the
+// repository's package scoping without sharing its module path.
+func IsPkgSuffix(pkgPath, path string) bool {
+	if pkgPath == path {
+		return true
+	}
+	n := len(pkgPath) - len(path)
+	return n > 0 && pkgPath[n-1] == '/' && pkgPath[n:] == path
+}
+
+// InAnyPkg reports whether pkgPath suffix-matches any of paths.
+func InAnyPkg(pkgPath string, paths []string) bool {
+	for _, p := range paths {
+		if IsPkgSuffix(pkgPath, p) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,101 @@
+package framework_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nasaic/internal/analysis/framework"
+)
+
+func TestIsPkgSuffix(t *testing.T) {
+	cases := []struct {
+		pkgPath, path string
+		want          bool
+	}{
+		{"nasaic/internal/sched", "internal/sched", true},
+		{"internal/sched", "internal/sched", true},
+		{"a/internal/sched", "internal/sched", true},
+		{"nasaic/internal/sched_test", "internal/sched", false}, // x_test variant is a different package
+		{"nasaic/internal/schedx", "internal/sched", false},
+		{"nasaic/xinternal/sched", "internal/sched", false}, // path-boundary, not substring
+		{"sched", "internal/sched", false},
+		{"", "internal/sched", false},
+	}
+	for _, c := range cases {
+		if got := framework.IsPkgSuffix(c.pkgPath, c.path); got != c.want {
+			t.Errorf("IsPkgSuffix(%q, %q) = %v, want %v", c.pkgPath, c.path, got, c.want)
+		}
+	}
+}
+
+// TestVetToolProtocol is the end-to-end pin of the unitchecker protocol:
+// it builds the real nasaiclint binary, points `go vet -vettool` at it
+// over a scratch module containing a determinism violation in a package
+// path ending internal/sched, and asserts the run fails with our
+// diagnostic; adding a reasoned //lint:allow must make the same run pass.
+// This is exactly how CI invokes the linter over the repository.
+func TestVetToolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to go vet")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go tool unavailable: %v", err)
+	}
+
+	lint := filepath.Join(t.TempDir(), "nasaiclint")
+	build := exec.Command(goTool, "build", "-o", lint, "nasaic/cmd/nasaiclint")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building nasaiclint: %v\n%s", err, out)
+	}
+
+	mod := t.TempDir()
+	pkg := filepath.Join(mod, "internal", "sched")
+	if err := os.MkdirAll(pkg, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, filepath.Join(mod, "go.mod"), "module scratch\n\ngo 1.24\n")
+	writeFile(t, filepath.Join(pkg, "sched.go"), `package sched
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+`)
+
+	vet := func() (string, error) {
+		cmd := exec.Command(goTool, "vet", "-vettool="+lint, "./...")
+		cmd.Dir = mod
+		out, err := cmd.CombinedOutput()
+		return string(out), err
+	}
+
+	out, err := vet()
+	if err == nil {
+		t.Fatalf("go vet unexpectedly clean over a wall-clock read in internal/sched:\n%s", out)
+	}
+	if !strings.Contains(out, "wall-clock time.Now") || !strings.Contains(out, "[determinism]") {
+		t.Fatalf("go vet failed without the expected determinism diagnostic:\n%s", out)
+	}
+
+	writeFile(t, filepath.Join(pkg, "sched.go"), `package sched
+
+import "time"
+
+func Stamp() time.Time {
+	return time.Now() //lint:allow determinism scratch fixture: timestamp feeds no results
+}
+`)
+	if out, err := vet(); err != nil {
+		t.Fatalf("go vet still failing after a reasoned allow: %v\n%s", err, out)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

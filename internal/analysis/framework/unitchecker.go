@@ -1,0 +1,208 @@
+package framework
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Config is the JSON schema of the vet.cfg file cmd/go hands a -vettool for
+// each analysis unit. Field names must match cmd/go/internal/work exactly;
+// only the fields this driver consumes are declared.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point of a vettool built on this framework. It speaks
+// the three invocation protocols cmd/go uses —
+//
+//	tool -V=full          print a version fingerprint for the build cache
+//	tool -flags           print the tool's flags as JSON
+//	tool <unit>.cfg       analyze one package unit (the core protocol)
+//
+// — and otherwise treats its arguments as package patterns, re-execing
+// `go vet -vettool=<self> <patterns...>` so that `nasaiclint ./...` and
+// `go vet -vettool=$(which nasaiclint) ./...` are the same run. cmd/go
+// handles export data, caching and parallelism in both spellings.
+func Main(analyzers ...*Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	args := os.Args[1:]
+	for _, a := range args {
+		switch {
+		case strings.HasPrefix(a, "-V"):
+			// The exact shape cmd/go's tool-ID parser expects from an
+			// unversioned tool: "<name> version devel ... buildID=<x>".
+			fmt.Printf("%s version devel comments-go-here buildID=02M4W8E11Y6VB=o7R1r3m3bRT+42G5XA7Pj71o\n", progname)
+			return
+		case a == "-flags":
+			// No tool-specific flags; cmd/go wants a JSON flag inventory.
+			fmt.Println("[]")
+			return
+		case a == "-h" || a == "-help" || a == "--help":
+			fmt.Fprintf(os.Stderr, "usage: %s [package pattern...]\n\nAnalyzers:\n", progname)
+			for _, an := range analyzers {
+				doc := an.Doc
+				if i := strings.IndexByte(doc, '\n'); i >= 0 {
+					doc = doc[:i]
+				}
+				fmt.Fprintf(os.Stderr, "  %-12s %s\n", an.Name, doc)
+			}
+			os.Exit(2)
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		diags, err := AnalyzeUnit(args[0], analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			os.Exit(1)
+		}
+		if len(diags) > 0 {
+			for _, d := range diags {
+				fmt.Fprintf(os.Stderr, "%s\n", d)
+			}
+			os.Exit(2)
+		}
+		return
+	}
+	// Standalone mode: delegate orchestration to cmd/go.
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: cannot locate own executable: %v\n", progname, err)
+		os.Exit(1)
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "%s: go vet: %v\n", progname, err)
+		os.Exit(1)
+	}
+}
+
+// AnalyzeUnit loads one vet.cfg unit, type-checks it from the export data
+// cmd/go supplies, and runs the analyzers. It always writes the (empty)
+// facts file cmd/go expects at cfg.VetxOutput — this suite uses no
+// cross-package facts — and returns the surviving diagnostics.
+func AnalyzeUnit(cfgFile string, analyzers []*Analyzer) ([]PositionedDiagnostic, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", cfgFile, err)
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, fmt.Errorf("writing facts output: %w", err)
+		}
+	}
+	if cfg.VetxOnly {
+		// This unit is a dependency analyzed only for facts; we keep none.
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// The lookup receives a canonical package path; cmd/go provides the
+		// export data location for every transitive dependency.
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	tc := &types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			if mapped, ok := cfg.ImportMap[importPath]; ok {
+				importPath = mapped
+			}
+			if importPath == "unsafe" {
+				return types.Unsafe, nil
+			}
+			return compilerImp.Import(importPath)
+		}),
+		Sizes:     types.SizesFor(cfg.Compiler, goarch()),
+		GoVersion: cfg.GoVersion,
+	}
+	info := NewTypesInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err)
+	}
+
+	pkgPath := cfg.ImportPath
+	if i := strings.Index(pkgPath, " ["); i >= 0 {
+		pkgPath = pkgPath[:i] // "pkg [pkg.test]" test-variant decoration
+	}
+	return Run(fset, files, pkg, info, pkgPath, analyzers)
+}
+
+// NewTypesInfo allocates a types.Info with every map the analyzers consult.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func goarch() string {
+	if a := os.Getenv("GOARCH"); a != "" {
+		return a
+	}
+	return runtime.GOARCH
+}

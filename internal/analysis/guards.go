@@ -1,0 +1,277 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"nasaic/internal/analysis/framework"
+)
+
+// A guardClass is a bitmask of the invariant classes a //lint:guard
+// annotation places on a mutex field:
+//
+//	//lint:guard journal     no journal append/fsync while this lock is held
+//	//lint:guard io          no logging or network/HTTP writes while held
+//	//lint:guard journal,io  both
+type guardClass uint8
+
+const (
+	guardJournal guardClass = 1 << iota
+	guardIO
+)
+
+var guardClassNames = map[string]guardClass{
+	"journal": guardJournal,
+	"io":      guardIO,
+}
+
+// guardProblem is a malformed //lint:guard annotation, reported (once, by
+// the journallock analyzer) so broken annotations cannot silently disable
+// enforcement.
+type guardProblem struct {
+	pos token.Pos
+	msg string
+}
+
+// collectGuards scans the package for //lint:guard annotations on mutex
+// struct fields and package-level mutex variables, returning the guarded
+// objects and any malformed annotations.
+func collectGuards(pass *framework.Pass) (map[types.Object]guardClass, []guardProblem) {
+	guards := map[types.Object]guardClass{}
+	var problems []guardProblem
+
+	addField := func(names []*ast.Ident, typ ast.Expr, comments ...*ast.CommentGroup) {
+		cls, pos, ok := guardDirective(comments)
+		if !ok {
+			return
+		}
+		if cls == 0 {
+			problems = append(problems, guardProblem{pos, "//lint:guard names no valid class: want journal, io or journal,io"})
+			return
+		}
+		if !isMutexType(pass.TypesInfo.TypeOf(typ)) {
+			problems = append(problems, guardProblem{pos, "//lint:guard must annotate a sync.Mutex or sync.RWMutex"})
+			return
+		}
+		if len(names) == 0 {
+			problems = append(problems, guardProblem{pos, "//lint:guard cannot annotate an embedded mutex: name the field"})
+			return
+		}
+		for _, name := range names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				guards[obj] |= cls
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				switch spec := spec.(type) {
+				case *ast.TypeSpec:
+					st, ok := spec.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						addField(field.Names, field.Type, field.Doc, field.Comment)
+					}
+				case *ast.ValueSpec:
+					if gd.Tok != token.VAR || spec.Type == nil {
+						continue
+					}
+					addField(spec.Names, spec.Type, gd.Doc, spec.Doc, spec.Comment)
+				}
+			}
+		}
+	}
+	return guards, problems
+}
+
+// guardDirective extracts a //lint:guard directive from the comment groups,
+// returning the parsed class mask (0 if every named class is unknown) and
+// the directive's position.
+func guardDirective(groups []*ast.CommentGroup) (guardClass, token.Pos, bool) {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			rest, ok := strings.CutPrefix(c.Text, "//lint:guard")
+			if !ok {
+				continue
+			}
+			// Fixture `// want` markers embedded in the comment are
+			// harness expectations, not part of the directive.
+			if i := strings.Index(rest, "// want"); i >= 0 {
+				rest = rest[:i]
+			}
+			var cls guardClass
+			for _, tok := range strings.FieldsFunc(rest, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+				cls |= guardClassNames[tok]
+			}
+			return cls, c.Pos(), true
+		}
+	}
+	return 0, token.NoPos, false
+}
+
+// isMutexType reports whether t (or *t) is sync.Mutex or sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// lockOpKind classifies a call as a lock acquisition, a release, or neither.
+type lockOpKind int
+
+const (
+	opNone lockOpKind = iota
+	opLock
+	opUnlock
+)
+
+// lockOp resolves calls of the form recv.mu.Lock() / mu.RLock() /
+// recv.mu.Unlock() against the guarded-object set.
+func lockOp(info *types.Info, guards map[types.Object]guardClass, call *ast.CallExpr) (types.Object, lockOpKind) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, opNone
+	}
+	var kind lockOpKind
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		kind = opLock
+	case "Unlock", "RUnlock":
+		kind = opUnlock
+	default:
+		return nil, opNone
+	}
+	obj := receiverObject(info, sel.X)
+	if obj == nil {
+		return nil, opNone
+	}
+	if _, guarded := guards[obj]; !guarded {
+		return nil, opNone
+	}
+	return obj, kind
+}
+
+// receiverObject resolves the mutex expression of a lock call (`mu` in
+// `m.mu.Lock()`) to its declared object: a struct field or a variable.
+func receiverObject(info *types.Info, x ast.Expr) types.Object {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		return info.Uses[x]
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[x]; ok {
+			return s.Obj()
+		}
+		return info.Uses[x.Sel]
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return receiverObject(info, x.X)
+		}
+	}
+	return nil
+}
+
+// trackLocks walks one function body in source order, maintaining the set
+// of guarded mutexes currently held, and invokes onCall for every call
+// expression evaluated while at least one is held. Nested function literals
+// are skipped — each is tracked independently via eachFuncBody, since a
+// closure's execution time is unrelated to its lexical position.
+//
+// The analysis is a deliberate linear, source-order approximation of the
+// control flow: Lock() adds the mutex to the held set, Unlock() removes it,
+// and `defer mu.Unlock()` (directly or inside a deferred closure) keeps it
+// held through the end of the body. That matches the repository's lock
+// idioms; genuinely branch-dependent locking can be annotated with
+// //lint:allow where the approximation over-reports.
+func trackLocks(info *types.Info, guards map[types.Object]guardClass, body *ast.BlockStmt, onCall func(call *ast.CallExpr, held guardClass)) {
+	held := map[types.Object]bool{}
+	heldMask := func() guardClass {
+		var m guardClass
+		for obj, on := range held {
+			if on {
+				m |= guards[obj]
+			}
+		}
+		return m
+	}
+
+	// visit walks n; inDefer suppresses Unlock removal, modelling that a
+	// deferred release happens only when the function returns.
+	var visit func(n ast.Node, inDefer bool)
+	visit = func(n ast.Node, inDefer bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.DeferStmt:
+				visit(n.Call, true)
+				return false
+			case *ast.GoStmt:
+				// The spawned goroutine does not hold the caller's locks;
+				// only the argument expressions are evaluated here.
+				for _, arg := range n.Call.Args {
+					visit(arg, inDefer)
+				}
+				return false
+			case *ast.CallExpr:
+				if obj, kind := lockOp(info, guards, n); kind != opNone {
+					switch kind {
+					case opLock:
+						held[obj] = true
+					case opUnlock:
+						if !inDefer {
+							delete(held, obj)
+						}
+					}
+					return true
+				}
+				if mask := heldMask(); mask != 0 {
+					onCall(n, mask)
+				}
+				return true
+			}
+			return true
+		})
+	}
+	visit(body, false)
+}
+
+// eachFuncBody invokes fn for every independently executing function body
+// in the file: declared functions/methods and every function literal.
+func eachFuncBody(f *ast.File, fn func(body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				fn(n.Body)
+			}
+		case *ast.FuncLit:
+			fn(n.Body)
+		}
+		return true
+	})
+}

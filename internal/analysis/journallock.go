@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"nasaic/internal/analysis/framework"
+)
+
+// JournalLock enforces journal-before-publish hygiene: no journal append or
+// fsync while a //lint:guard journal mutex is held.
+var JournalLock = &framework.Analyzer{
+	Name: "journallock",
+	Doc: `forbid journal appends and fsyncs under a guarded mutex
+
+Mutex fields annotated //lint:guard journal must never be held across a
+call into internal/journal (whose Append group-commits an fsync), an
+internal/faultfs or os.File Sync, or any function in the same package that
+transitively makes such a call. Holding a hot lock across a group-commit
+fsync serializes every reader behind disk latency — the exact PR 8 bug
+(jobs.Manager.Submit journaling while holding Manager.mu). The analysis is
+intra-package and source-order: Lock() opens a critical section, Unlock()
+closes it, defer Unlock() extends it to the end of the function.`,
+	Run: runJournalLock,
+}
+
+func runJournalLock(pass *framework.Pass) error {
+	guards, problems := collectGuards(pass)
+	for _, p := range problems {
+		pass.Reportf(p.pos, "%s", p.msg)
+	}
+	if len(guards) == 0 {
+		return nil
+	}
+	entering := journalEnteringFuncs(pass)
+	for _, f := range pass.Files {
+		eachFuncBody(f, func(body *ast.BlockStmt) {
+			trackLocks(pass.TypesInfo, guards, body, func(call *ast.CallExpr, held guardClass) {
+				if held&guardJournal == 0 {
+					return
+				}
+				fn := framework.CalleeFunc(pass.TypesInfo, call)
+				if fn == nil {
+					return
+				}
+				switch {
+				case isJournalEnteringBase(fn):
+					pass.Reportf(call.Pos(), "%s.%s while holding a journal-guarded mutex: the journal group-commits an fsync, so every contender stalls behind disk latency; journal outside the lock, then publish", pkgName(fn), fn.Name())
+				case entering[fn]:
+					pass.Reportf(call.Pos(), "%s transitively appends to the journal and is called while holding a journal-guarded mutex; journal outside the lock, then publish", fn.Name())
+				}
+			})
+		})
+	}
+	return nil
+}
+
+// isJournalEnteringBase reports whether fn directly enters a journal or
+// fsync path: any function or method of internal/journal, a Sync on
+// internal/faultfs files, or (*os.File).Sync.
+func isJournalEnteringBase(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	switch {
+	case framework.IsPkgSuffix(pkg.Path(), "internal/journal"):
+		// Only the mutating/fsyncing entry points; read-only accessors
+		// (States, Recovery, Terminal, ...) are safe under any lock.
+		switch fn.Name() {
+		case "Append", "Close", "Compact", "Open":
+			return true
+		}
+		return false
+	case framework.IsPkgSuffix(pkg.Path(), "internal/faultfs") && fn.Name() == "Sync":
+		return true
+	case pkg.Path() == "os" && fn.Name() == "Sync":
+		return true
+	}
+	return false
+}
+
+// journalEnteringFuncs computes the package-local functions that
+// (transitively, within this package) call into a journal/fsync path, by
+// fixed point over the intra-package call graph.
+func journalEnteringFuncs(pass *framework.Pass) map[*types.Func]bool {
+	type declFunc struct {
+		fn   *types.Func
+		body *ast.BlockStmt
+	}
+	var decls []declFunc
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls = append(decls, declFunc{fn, fd.Body})
+			}
+		}
+	}
+	entering := map[*types.Func]bool{}
+	for changed := true; changed; {
+		changed = false
+		for _, d := range decls {
+			if entering[d.fn] {
+				continue
+			}
+			found := false
+			ast.Inspect(d.body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || found {
+					return !found
+				}
+				if fn := framework.CalleeFunc(pass.TypesInfo, call); fn != nil {
+					if isJournalEnteringBase(fn) || entering[fn] {
+						found = true
+					}
+				}
+				return !found
+			})
+			if found {
+				entering[d.fn] = true
+				changed = true
+			}
+		}
+	}
+	return entering
+}
+
+func pkgName(fn *types.Func) string {
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name()
+	}
+	return "?"
+}

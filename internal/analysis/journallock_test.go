@@ -1,0 +1,18 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"nasaic/internal/analysis"
+	"nasaic/internal/analysis/framework"
+)
+
+// TestJournalLockFixtures proves the journallock analyzer rejects the PR 8
+// bug reconstruction — a journal append (group-commit fsync) while holding
+// the //lint:guard journal manager mutex — along with transitive local
+// wrappers and direct fsyncs, while accepting the PR 8 fix shape
+// (reserve under lock → journal outside → publish), read-only journal
+// accessors, goroutine spawns, unguarded mutexes and reasoned allows.
+func TestJournalLockFixtures(t *testing.T) {
+	framework.RunFixture(t, "testdata", "a/jm", analysis.JournalLock)
+}

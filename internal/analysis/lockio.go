@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"nasaic/internal/analysis/framework"
+)
+
+// LockIO enforces IO hygiene under hot locks: no logging and no
+// network/HTTP writes while a //lint:guard io mutex is held.
+var LockIO = &framework.Analyzer{
+	Name: "lockio",
+	Doc: `forbid logging and network writes under a guarded mutex
+
+Mutex fields annotated //lint:guard io must never be held across a log
+call (package log, or any logf/Logf function value or method — the
+daemon's injectable loggers), an http.ResponseWriter write/flush, or a
+net.Conn write. Logging formats and writes to stderr under the lock;
+HTTP/conn writes block on a remote peer — either stalls every contender.
+Copy the state out under the lock, release it, then log or write.`,
+	Run: runLockIO,
+}
+
+func runLockIO(pass *framework.Pass) error {
+	guards, _ := collectGuards(pass) // guard-annotation problems are journallock's to report
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		eachFuncBody(f, func(body *ast.BlockStmt) {
+			trackLocks(pass.TypesInfo, guards, body, func(call *ast.CallExpr, held guardClass) {
+				if held&guardIO == 0 {
+					return
+				}
+				if msg := ioCallKind(pass.TypesInfo, call); msg != "" {
+					pass.Reportf(call.Pos(), "%s while holding an io-guarded mutex stalls every contender; copy state under the lock, release it, then perform the IO", msg)
+				}
+			})
+		})
+	}
+	return nil
+}
+
+// ioCallKind classifies call as an IO operation forbidden under an
+// io-guarded mutex, returning a short description or "".
+func ioCallKind(info *types.Info, call *ast.CallExpr) string {
+	if fn := framework.CalleeFunc(info, call); fn != nil {
+		if fn.Pkg() != nil && fn.Pkg().Path() == "log" {
+			return "log." + fn.Name()
+		}
+		if fn.Name() == "Logf" || fn.Name() == "logf" {
+			return fn.Name() + " call"
+		}
+		if sig := fn.Signature(); sig.Recv() != nil {
+			switch fn.Name() {
+			case "Write", "WriteHeader", "WriteString", "Flush", "FlushError":
+				if p := recvPkgPath(sig.Recv().Type()); p == "net/http" || p == "net" {
+					return p + " " + fn.Name()
+				}
+			}
+		}
+		return ""
+	}
+	// Dynamic call through a function-typed value: the injectable logf
+	// fields (jobs.Options.Logf and friends).
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if obj := info.Uses[fun.Sel]; obj != nil && isLogfValue(obj) {
+			return obj.Name() + " call"
+		}
+	case *ast.Ident:
+		if obj := info.Uses[fun]; obj != nil && isLogfValue(obj) {
+			return obj.Name() + " call"
+		}
+	}
+	return ""
+}
+
+// isLogfValue reports whether obj is a function-typed variable or field
+// named logf/Logf.
+func isLogfValue(obj types.Object) bool {
+	if obj.Name() != "logf" && obj.Name() != "Logf" {
+		return false
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	_, isFunc := v.Type().Underlying().(*types.Signature)
+	return isFunc
+}
+
+// recvPkgPath returns the package path of the receiver's named type.
+func recvPkgPath(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return ""
+	}
+	return n.Obj().Pkg().Path()
+}

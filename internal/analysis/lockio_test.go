@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"nasaic/internal/analysis"
+	"nasaic/internal/analysis/framework"
+)
+
+// TestLockIOFixtures proves the lockio analyzer rejects logging and
+// HTTP writes under an //lint:guard io mutex and accepts the
+// copy-then-release-then-write fix shape, unguarded mutexes and
+// reasoned allows.
+func TestLockIOFixtures(t *testing.T) {
+	framework.RunFixture(t, "testdata", "a/iom", analysis.LockIO)
+}

@@ -1,0 +1,16 @@
+package analysis
+
+import "nasaic/internal/analysis/framework"
+
+// Suite returns every nasaiclint analyzer, in reporting order. The
+// framework driver adds the //lint:allow directive layer (analyzer name
+// "lintdirective") on top: missing reasons, unknown analyzer names and
+// unused suppressions are diagnostics in their own right.
+func Suite() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		Determinism,
+		JournalLock,
+		CtxPlumb,
+		LockIO,
+	}
+}

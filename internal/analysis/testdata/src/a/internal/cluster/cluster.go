@@ -1,0 +1,71 @@
+// Package cluster exercises the ctxplumb analyzer inside a ctx-first
+// package (path suffix internal/cluster).
+package cluster
+
+import "context"
+
+func detachedBackground() context.Context {
+	return context.Background() // want `context.Background severs the caller's cancellation chain`
+}
+
+func detachedTODO() context.Context {
+	return context.TODO() // want `context.TODO severs the caller's cancellation chain`
+}
+
+func lifecycleRoot() context.Context {
+	return context.Background() //lint:allow ctxplumb daemon lifecycle root, cancelled by Close
+}
+
+// DrainAll loops but never consults its context: it advertises
+// cancellability it does not deliver.
+func DrainAll(ctx context.Context, items []int) int { // want `exported DrainAll loops but never consults its context.Context parameter`
+	sum := 0
+	for _, v := range items {
+		sum += v
+	}
+	return sum
+}
+
+// DrainPolling polls ctx.Err in its loop: ok.
+func DrainPolling(ctx context.Context, items []int) (int, error) {
+	sum := 0
+	for _, v := range items {
+		if err := ctx.Err(); err != nil {
+			return sum, err
+		}
+		sum += v
+	}
+	return sum, nil
+}
+
+// DrainDelegating passes ctx to the per-item work: ok.
+func DrainDelegating(ctx context.Context, items []int) int {
+	sum := 0
+	for _, v := range items {
+		sum += work(ctx, v)
+	}
+	return sum
+}
+
+// NoLoop has no loop, so an unused ctx is not this analyzer's business.
+func NoLoop(ctx context.Context, v int) int { return v + 1 }
+
+// drainInternal is unexported: callers inside the package see the body.
+func drainInternal(ctx context.Context, items []int) int {
+	sum := 0
+	for _, v := range items {
+		sum += v
+	}
+	return sum
+}
+
+// DrainIgnored declares it ignores its context outright.
+func DrainIgnored(_ context.Context, items []int) int { // want `exported DrainIgnored loops but never consults its context.Context parameter`
+	sum := 0
+	for _, v := range items {
+		sum += v
+	}
+	return sum
+}
+
+func work(ctx context.Context, v int) int { return v }

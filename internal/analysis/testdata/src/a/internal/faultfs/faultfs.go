@@ -1,0 +1,9 @@
+// Package faultfs is a fixture stand-in for the repository's
+// internal/faultfs (matched by path suffix, like journal).
+package faultfs
+
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}

@@ -1,0 +1,25 @@
+// Package rl exercises the //lint:allow directive layer itself, inside a
+// determinism-scoped package (path suffix internal/rl).
+package rl
+
+import "time"
+
+func missingReason() {
+	// A reason-less directive is rejected AND suppresses nothing: the
+	// underlying diagnostic still fires.
+	_ = time.Now() //lint:allow determinism // want `//lint:allow determinism is missing a reason` `wall-clock time.Now`
+}
+
+func unknownAnalyzer() {
+	_ = time.Now() // want `wall-clock time.Now`
+	_ = 0          //lint:allow tuborfish reasons do not save an unknown analyzer name // want `names unknown analyzer "tuborfish"`
+}
+
+func properlyAllowed() {
+	_ = time.Now() //lint:allow determinism metrics timestamp, never feeds results
+}
+
+func unusedDirective() {
+	x := 1 //lint:allow determinism nothing here actually trips the rule // want `unused //lint:allow determinism directive`
+	_ = x
+}

@@ -1,0 +1,115 @@
+// Package sched exercises the determinism analyzer inside a
+// result-affecting package (path suffix internal/sched).
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type result struct {
+	energy float64
+	names  []string
+}
+
+func wallClock() {
+	t := time.Now()   // want `wall-clock time.Now`
+	_ = time.Since(t) // want `wall-clock time.Since`
+	_ = time.Until(t) // want `wall-clock time.Until`
+	_ = t.Sub(t)      // method on a Time value, not a clock read: ok
+}
+
+func allowedWallClock() {
+	// A reasoned allow suppresses the diagnostic.
+	t := time.Now() //lint:allow determinism heartbeat timestamp, never feeds results
+	_ = t
+}
+
+func globalRand() int {
+	_ = rand.Float64()  // want `global math/rand.Float64`
+	return rand.Intn(8) // want `global math/rand.Intn`
+}
+
+func seededRand() float64 {
+	r := rand.New(rand.NewSource(42)) // constructors over explicit seeds: ok
+	return r.Float64()                // method on an explicit stream: ok
+}
+
+func fma(x, y, z float64) float64 {
+	return math.FMA(x, y, z) // want `math.FMA rounds differently`
+}
+
+func mapOrderFeedsSlice(m map[string]int) []string {
+	var names []string
+	for k := range m {
+		names = append(names, k) // want `append inside range over map`
+	}
+	return names
+}
+
+func mapCollectThenSort(m map[string]int) []string {
+	var names []string
+	for k := range m {
+		names = append(names, k) // sorted immediately after the loop: ok
+	}
+	sort.Strings(names)
+	return names
+}
+
+func mapOrderFeedsFloatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `floating-point accumulation inside range over map`
+	}
+	return sum
+}
+
+func mapIntSumOK(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v // integer addition is associative: ok
+	}
+	return sum
+}
+
+func mapOrderFeedsString(m map[string]string) string {
+	out := ""
+	for _, v := range m {
+		out += v // want `string concatenation inside range over map`
+	}
+	return out
+}
+
+func mapOrderFeedsChannel(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want `channel send inside range over map`
+	}
+}
+
+func mapOrderFeedsReturn(m map[string]result) (string, bool) {
+	for k, v := range m {
+		if v.energy > 1 {
+			return k, true // want `return inside range over map`
+		}
+	}
+	return "", false
+}
+
+func mapReturnConstOK(m map[string]int) bool {
+	for _, v := range m {
+		if v > 1 {
+			return true // constant result: any matching entry gives the same answer
+		}
+	}
+	return false
+}
+
+func sliceRangeOK(xs []float64) float64 {
+	var sum float64
+	for _, v := range xs {
+		sum += v // slice iteration order is fixed: ok
+	}
+	return sum
+}

@@ -1,0 +1,70 @@
+// Package iom exercises the lockio analyzer: no logging or network/HTTP
+// writes while an io-guarded mutex is held.
+package iom
+
+import (
+	"log"
+	"net/http"
+	"sync"
+)
+
+type Server struct {
+	mu   sync.Mutex //lint:guard io
+	logf func(string, ...any)
+	n    int
+}
+
+func (s *Server) LogUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	log.Printf("n=%d", s.n) // want `log.Printf while holding an io-guarded mutex`
+}
+
+func (s *Server) LogfFieldUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.logf("n=%d", s.n) // want `logf call while holding an io-guarded mutex`
+}
+
+func (s *Server) HTTPWriteUnderLock(w http.ResponseWriter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w.WriteHeader(200)      // want `net/http WriteHeader while holding an io-guarded mutex`
+	w.Write([]byte("busy")) // want `net/http Write while holding an io-guarded mutex`
+}
+
+// The fix shape: copy state under the lock, release, then do the IO.
+func (s *Server) LogOutsideLock() {
+	s.mu.Lock()
+	n := s.n
+	s.mu.Unlock()
+	log.Printf("n=%d", n) // after Unlock: ok
+}
+
+func (s *Server) HTTPWriteOutsideLock(w http.ResponseWriter) {
+	s.mu.Lock()
+	n := s.n
+	s.mu.Unlock()
+	_ = n
+	w.WriteHeader(200) // after Unlock: ok
+}
+
+// An allow directive (with reason) suppresses a deliberate exception.
+func (s *Server) LogAllowed() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	log.Printf("n=%d", s.n) //lint:allow lockio startup banner, printed before the server is shared
+}
+
+// An unguarded mutex places no IO restrictions.
+type Plain struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (p *Plain) LogUnderPlainLock() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	log.Printf("n=%d", p.n) // p.mu carries no guard: ok
+}

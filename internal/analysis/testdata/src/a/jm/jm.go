@@ -1,0 +1,108 @@
+// Package jm reconstructs PR 8's journal-under-mutex bug shape for the
+// journallock analyzer: a manager whose hot mutex is annotated
+// //lint:guard journal and whose Submit path appends to the journal (a
+// group-commit fsync) while holding it.
+package jm
+
+import (
+	"os"
+	"sync"
+
+	"a/internal/faultfs"
+	"a/internal/journal"
+)
+
+type Manager struct {
+	mu sync.Mutex //lint:guard journal
+	jn *journal.Journal
+	f  *os.File
+	ff faultfs.File
+
+	seq  int
+	jobs map[string]int
+}
+
+// SubmitPR8Bug is the exact PR 8 bug: journaling (and its fsync) while
+// holding the manager's hot mutex.
+func (m *Manager) SubmitPR8Bug(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.seq++
+	m.jn.Append(journal.Record{Type: "submitted", Job: id}) // want `journal.Append while holding a journal-guarded mutex`
+	m.jobs[id] = m.seq
+}
+
+// SubmitFixed is the PR 8 fix shape: reserve under the lock, journal
+// outside it, publish under the lock again.
+func (m *Manager) SubmitFixed(id string) {
+	m.mu.Lock()
+	m.seq++
+	seq := m.seq
+	m.mu.Unlock()
+	m.jn.Append(journal.Record{Type: "submitted", Job: id}) // outside the lock: ok
+	m.mu.Lock()
+	m.jobs[id] = seq
+	m.mu.Unlock()
+}
+
+// journalEvent is a local wrapper around the journal: calls to it under
+// the mutex are caught transitively.
+func (m *Manager) journalEvent(id string) {
+	m.jn.Append(journal.Record{Type: "event", Job: id})
+}
+
+func (m *Manager) EmitLocked(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.journalEvent(id) // want `journalEvent transitively appends to the journal`
+}
+
+// Syncs under the lock are the same class of bug, through any fsync path.
+func (m *Manager) FlushLocked() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.f.Sync()  // want `os.Sync while holding a journal-guarded mutex`
+	m.ff.Sync() // want `faultfs.Sync while holding a journal-guarded mutex`
+}
+
+// Read-only journal accessors are safe under any lock.
+func (m *Manager) SegmentsLocked() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.jn.SegmentCount()
+}
+
+// A goroutine spawned under the lock does not inherit it.
+func (m *Manager) SpawnLocked(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	go m.journalEvent(id) // the goroutine runs without the caller's lock: ok
+}
+
+// An unguarded mutex may journal freely: the invariant is per-annotation.
+type PerJob struct {
+	mu sync.Mutex
+	jn *journal.Journal
+}
+
+func (j *PerJob) FinishLocked(id string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.jn.Append(journal.Record{Type: "finished", Job: id}) // j.mu carries no guard: ok
+}
+
+// An allow directive (with reason) suppresses a deliberate exception.
+func (m *Manager) SettleAllowed(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jn.Append(journal.Record{Type: "settle", Job: id}) //lint:allow journallock constructor-time path, no contenders exist yet
+}
+
+// Guard annotations must sit on a named mutex field.
+type Broken struct {
+	count int //lint:guard journal // want `//lint:guard must annotate a sync.Mutex`
+}
+
+type BrokenClass struct {
+	mu sync.Mutex //lint:guard fsync // want `names no valid class`
+}

@@ -1,0 +1,23 @@
+// Package notresult holds the same shapes as the sched fixture in a
+// package outside the result-affecting set: nothing may be reported.
+package notresult
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time { return time.Now() }
+
+func globalRand() float64 { return rand.Float64() }
+
+func fma(x, y, z float64) float64 { return math.FMA(x, y, z) }
+
+func mapOrder(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

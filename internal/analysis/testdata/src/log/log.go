@@ -1,0 +1,5 @@
+// Package log is a hermetic fixture stub of the real log package.
+package log
+
+func Printf(format string, v ...any) {}
+func Println(v ...any)               {}

@@ -1,0 +1,19 @@
+// Package rand is a hermetic fixture stub of the real math/rand package.
+package rand
+
+type Source interface{ Int63() int64 }
+
+type Rand struct{ src Source }
+
+func New(src Source) *Rand        { return &Rand{src} }
+func NewSource(seed int64) Source { return nil }
+
+func Int() int                           { return 0 }
+func Intn(n int) int                     { return 0 }
+func Float64() float64                   { return 0 }
+func Perm(n int) []int                   { return nil }
+func Shuffle(n int, swap func(i, j int)) {}
+
+func (r *Rand) Int() int         { return 0 }
+func (r *Rand) Intn(n int) int   { return 0 }
+func (r *Rand) Float64() float64 { return 0 }

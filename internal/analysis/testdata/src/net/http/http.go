@@ -1,0 +1,9 @@
+// Package http is a hermetic fixture stub of the real net/http package.
+package http
+
+type ResponseWriter interface {
+	Write([]byte) (int, error)
+	WriteHeader(statusCode int)
+}
+
+type Flusher interface{ Flush() }

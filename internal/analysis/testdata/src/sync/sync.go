@@ -1,0 +1,17 @@
+// Package sync is a hermetic fixture stub of the real sync package: the
+// analyzers match it by path and method name only, and stubbing keeps
+// fixture type-checking fast and offline.
+package sync
+
+type Mutex struct{ state int }
+
+func (m *Mutex) Lock()         {}
+func (m *Mutex) Unlock()       {}
+func (m *Mutex) TryLock() bool { return true }
+
+type RWMutex struct{ state int }
+
+func (m *RWMutex) Lock()    {}
+func (m *RWMutex) Unlock()  {}
+func (m *RWMutex) RLock()   {}
+func (m *RWMutex) RUnlock() {}

@@ -1,0 +1,11 @@
+// Package time is a hermetic fixture stub of the real time package.
+package time
+
+type Time struct{ wall uint64 }
+
+type Duration int64
+
+func Now() Time                    { return Time{} }
+func Since(t Time) Duration        { return 0 }
+func Until(t Time) Duration        { return 0 }
+func (t Time) Sub(u Time) Duration { return 0 }

@@ -183,7 +183,7 @@ func (c *Coordinator) Execute(ctx context.Context, j *jobs.Job) (*nasaic.Result,
 			// slots; cancel it in the background before the binding is
 			// forgotten. A genuinely dead worker just makes this a no-op.
 			go func(cl *client, remoteID string) {
-				cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second) //lint:allow ctxplumb deliberately detached: orphan cleanup must outlive the failed dispatch
 				defer cancel()
 				_ = cl.cancel(cctx, remoteID)
 			}(w.client, remoteID)
@@ -334,7 +334,7 @@ func (c *Coordinator) follow(ctx context.Context, j *jobs.Job, w *worker, remote
 // best-so-far partial result, as in standalone mode. Best effort: a nil
 // result just means the worker could not be reached in time.
 func (c *Coordinator) abandon(j *jobs.Job, w *worker, remoteID string) *nasaic.Result {
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second) //lint:allow ctxplumb deliberately detached: abandon runs while the job ctx is already dead
 	defer cancel()
 	if err := w.client.cancel(ctx, remoteID); err != nil {
 		c.logf("cluster: job %s: cancel on %s failed: %v", j.ID, w.name, err)

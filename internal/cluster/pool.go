@@ -37,13 +37,15 @@ type pool struct {
 	cancel   context.CancelFunc
 	wg       sync.WaitGroup
 
-	mu      sync.Mutex
+	// mu guards placement state; every dispatch decision takes it, so no
+	// logging or network IO may run under it (enforced by nasaiclint).
+	mu      sync.Mutex //lint:guard io
 	workers []*worker
 	changed chan struct{} // closed and replaced whenever placement state improves
 }
 
 func newPool(workers []*worker, interval time.Duration, logf func(string, ...any)) *pool {
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(context.Background()) //lint:allow ctxplumb pool lifecycle root: health probes outlive any caller; close cancels it
 	p := &pool{
 		interval: interval,
 		logf:     logf,

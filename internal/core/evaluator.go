@@ -213,7 +213,7 @@ func (e *Evaluator) computeBounds() Bounds {
 	const samples = 60
 	for s := 0; s < samples; s++ {
 		d := e.randomDesign(rng)
-		m, _ := e.hwEval(context.Background(), nets, d, false)
+		m, _ := e.hwEval(context.Background(), nets, d, false) //lint:allow ctxplumb bounds sampling is small fixed work on the non-ctx construction path
 		if !m.ResourceOK {
 			continue
 		}
@@ -267,7 +267,7 @@ func (e *Evaluator) randomDesign(rng *stats.RNG) accel.Design {
 // HWEval evaluates the hardware metrics of running the given networks on
 // design d (mapping and scheduling via HAP under the latency spec).
 func (e *Evaluator) HWEval(nets []*dnn.Network, d accel.Design) HWMetrics {
-	m, _ := e.hwEval(context.Background(), nets, d, true)
+	m, _ := e.hwEval(context.Background(), nets, d, true) //lint:allow ctxplumb compat shim: non-ctx public API delegates to HWEvalCtx
 	return m
 }
 

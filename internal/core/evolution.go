@@ -78,7 +78,7 @@ type individual struct {
 // evolutionary algorithm instead of the RNN controller. It is deterministic
 // in Config.Seed and honours Config.Refine for the final exploit phase.
 func (x *Explorer) RunEvolution(ec EvolutionConfig) *Result {
-	res, _ := x.RunEvolutionContext(context.Background(), ec)
+	res, _ := x.RunEvolutionContext(context.Background(), ec) //lint:allow ctxplumb compat shim: non-ctx public API delegates to the ctx variant
 	return res
 }
 

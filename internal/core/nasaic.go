@@ -221,7 +221,7 @@ func (x *Explorer) hwMask() []bool {
 // Run executes the full co-exploration and returns the result. It is
 // deterministic in Config.Seed.
 func (x *Explorer) Run() *Result {
-	res, _ := x.RunContext(context.Background())
+	res, _ := x.RunContext(context.Background()) //lint:allow ctxplumb compat shim: non-ctx public API delegates to RunContext
 	return res
 }
 

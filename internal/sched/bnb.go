@@ -35,7 +35,7 @@ import (
 // budget-truncated parallel search still returns the best leaf found, but
 // which leaves were explored then depends on worker scheduling.
 func BranchAndBound(p Problem, nodeBudget int) (Result, bool, error) {
-	return BranchAndBoundCtx(context.Background(), p, nodeBudget)
+	return BranchAndBoundCtx(context.Background(), p, nodeBudget) //lint:allow ctxplumb compat shim: non-ctx public API delegates to the ctx variant
 }
 
 // BranchAndBoundCtx is BranchAndBound with cooperative cancellation: workers

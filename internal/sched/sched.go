@@ -535,7 +535,7 @@ func (s *hsolver) scan(phase1 bool) move {
 // energy. The returned Result reports Feasible=false when no deadline-
 // meeting schedule was found.
 func Heuristic(p Problem) (Result, error) {
-	return HeuristicCtx(context.Background(), p)
+	return HeuristicCtx(context.Background(), p) //lint:allow ctxplumb compat shim: non-ctx public API delegates to the ctx variant
 }
 
 // HeuristicCtx is Heuristic with cooperative cancellation: the solver polls
@@ -924,7 +924,7 @@ func (s *exhaustState) takeNode() bool {
 // admissible bounds and fans out across workers on large instances; both are
 // outcome-preserving, so the result is identical to the plain enumeration.
 func Exhaustive(p Problem) (Result, error) {
-	return ExhaustiveCtx(context.Background(), p)
+	return ExhaustiveCtx(context.Background(), p) //lint:allow ctxplumb compat shim: non-ctx public API delegates to the ctx variant
 }
 
 // ExhaustiveCtx is Exhaustive with cooperative cancellation: workers poll ctx
@@ -1062,7 +1062,7 @@ const parallelBudgetChunk = 1 << 10
 // schedule exists. It dispatches to Exhaustive for small instances and the
 // heuristic otherwise.
 func HAP(p Problem) (float64, Result, error) {
-	return HAPCtx(context.Background(), p)
+	return HAPCtx(context.Background(), p) //lint:allow ctxplumb compat shim: non-ctx public API delegates to the ctx variant
 }
 
 // HAPCtx is HAP with cooperative cancellation (see HeuristicCtx and

@@ -63,12 +63,20 @@ func ValidateTimeline(p Problem, placements []Placement) error {
 			}
 		}
 	}
-	// Per-accelerator exclusivity.
+	// Per-accelerator exclusivity. Accelerators are visited in sorted order
+	// so that when several have overlaps, which one the error names is
+	// deterministic (map iteration order must never pick the result).
 	byAccel := map[int][]Placement{}
 	for _, pl := range placements {
 		byAccel[pl.Accel] = append(byAccel[pl.Accel], pl)
 	}
-	for accel, pls := range byAccel {
+	accels := make([]int, 0, len(byAccel))
+	for accel := range byAccel {
+		accels = append(accels, accel)
+	}
+	sort.Ints(accels)
+	for _, accel := range accels {
+		pls := byAccel[accel]
 		sort.Slice(pls, func(i, j int) bool { return pls[i].Start < pls[j].Start })
 		for i := 1; i < len(pls); i++ {
 			if pls[i].Start < pls[i-1].End {
